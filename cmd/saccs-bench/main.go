@@ -1,0 +1,62 @@
+// Command saccs-bench regenerates every table and figure of the paper's
+// evaluation (§6). By default it runs at fast (CI) scale; -scale paper uses
+// the paper's corpus sizes (280 entities / ~7000 reviews, Table 3 dataset
+// sizes, 100 queries per difficulty, 15 training epochs).
+//
+// Usage:
+//
+//	saccs-bench [-scale fast|paper] [-only table2,table3,table4,table5,figures]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"saccs/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "fast", "experiment scale: fast or paper")
+	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "fast":
+		scale = experiments.Fast
+	case "paper":
+		scale = experiments.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want fast or paper)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	run := func(name string, f func()) {
+		if len(want) > 0 && !want[name] {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		f()
+		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table3", func() { experiments.Table3(scale, os.Stdout) })
+	run("figures", func() {
+		experiments.Figure1(os.Stdout)
+		experiments.Figure2(scale, os.Stdout)
+		experiments.Figure5(scale, os.Stdout)
+	})
+	run("table5", func() { experiments.Table5(scale, os.Stdout) })
+	run("table4", func() { experiments.Table4(scale, os.Stdout) })
+	run("table2", func() { experiments.Table2(scale, os.Stdout) })
+}

@@ -1,0 +1,82 @@
+// Command saccs-chat is an interactive subjectivity-aware conversational
+// search REPL over the synthetic Yelp world: type utterances like
+//
+//	I want an Italian restaurant in Montreal with delicious food
+//
+// and SACCS extracts the subjective tags, filters the objective search
+// results, and ranks them by degrees of truth. Special commands:
+//
+//	:tags        show the indexed subjective tags
+//	:history     show the user tag history (unknown tags seen so far)
+//	:reindex     run an indexing round over the history (Fig. 1's loop)
+//	:quit        exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"saccs/internal/core"
+	"saccs/internal/datasets"
+	"saccs/internal/experiments"
+	"saccs/internal/pairing"
+	"saccs/internal/parse"
+	"saccs/internal/tagger"
+	"saccs/internal/yelp"
+)
+
+func main() {
+	fmt.Println("setting up: world + extractor (this takes a few seconds)...")
+	world := yelp.Generate(yelp.FastConfig())
+	data := datasets.S1(datasets.Fast)
+	enc := experiments.BuildEncoder(experiments.DefaultEncoderOpts(datasets.Fast), world.Domain, nil)
+	cfg := tagger.DefaultConfig()
+	cfg.Adversarial = true
+	cfg.Epsilon = 0.2
+	tg := tagger.New(enc, cfg)
+	tg.Train(data.Train)
+	ex := &core.Extractor{
+		Tagger: tg,
+		Pairer: pairing.Tree{Lex: parse.DomainLexicon(world.Domain), FromOpinions: true},
+	}
+	svc := core.NewService(world, ex, nil, core.DefaultConfig())
+	svc.BuildEntityTags(core.NeuralSource{E: ex})
+	svc.IndexTags(svc.CanonicalTags()[:8])
+	fmt.Printf("ready: %d restaurants, %d reviews, %d tags indexed\n\n",
+		len(world.Entities), world.ReviewCount(), svc.Index.Len())
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("you> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ":quit", line == ":q":
+			return
+		case line == ":tags":
+			fmt.Println(strings.Join(svc.Index.Tags(), ", "))
+		case line == ":history":
+			fmt.Println(svc.History.Pending())
+		case line == ":reindex":
+			added := svc.IndexPending()
+			fmt.Printf("indexed %v; index now has %d tags\n", added, svc.Index.Len())
+		default:
+			resp := svc.Query(line)
+			fmt.Printf("intent=%s slots=%v tags=%v", resp.Intent.Name, resp.Intent.Slots, resp.Tags)
+			if len(resp.UnknownTags) > 0 {
+				fmt.Printf(" (new tags queued: %v — :reindex to learn them)", resp.UnknownTags)
+			}
+			fmt.Println()
+			for i, s := range resp.Results {
+				if i >= 5 {
+					break
+				}
+				e := world.Entity(s.EntityID)
+				fmt.Printf("  %d. %-16s %.1f★  degree %.2f\n", i+1, e.Name, e.Stars, s.Score)
+			}
+		}
+		fmt.Print("you> ")
+	}
+}

@@ -1,0 +1,70 @@
+// Hotels: SACCS on a second domain (the Booking.com-style S4 corpus of the
+// paper's Table 3). Demonstrates the small-data regime §6.3 highlights —
+// adversarial training matters most when labeled data is scarce — and
+// cross-domain reuse of the same public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"saccs"
+)
+
+func main() {
+	fmt.Println("training a hotels-domain SACCS client (small-data regime)...")
+	cfg := saccs.DefaultConfig()
+	cfg.Domain = "hotels"
+	client, err := saccs.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hotels := []saccs.Entity{
+		{
+			ID: "lumiere", Name: "Hotel Lumière", City: "Paris",
+			Reviews: []string{
+				"The rooms are spotless and the beds are heavenly.",
+				"Very friendly reception. The breakfast was delicious.",
+				"The wifi is fast and the floors are quiet.",
+			},
+		},
+		{
+			ID: "wanderer", Name: "The Wanderer", City: "Paris",
+			Reviews: []string{
+				"The rooms were musty and the mattress was lumpy.",
+				"The reception was rude. The wifi is spotty.",
+			},
+		},
+		{
+			ID: "bayview", Name: "Bayview Inn", City: "Paris",
+			Reviews: []string{
+				"Great location and a breathtaking view from the balcony.",
+				"The pool is lovely. Rates are very reasonable.",
+			},
+		},
+	}
+	if err := client.IndexEntities(hotels, client.CanonicalTags()); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range []string{
+		"somewhere with clean rooms and comfortable beds",
+		"a hotel with a good view and fair rates",
+	} {
+		fmt.Printf("\nuser: %q\n", q)
+		resp := client.Query(q)
+		fmt.Printf("tags: %v\n", resp.Tags)
+		for i, r := range resp.Results {
+			e, _ := client.Entity(r.ID)
+			fmt.Printf("  %d. %-14s (%.2f)\n", i+1, e.Name, r.Score)
+		}
+	}
+
+	// The raw tagging view.
+	fmt.Println("\ntagging view of a review sentence:")
+	tokens, labels := client.TagLabels("the breakfast was delicious and the reception was friendly")
+	for i := range tokens {
+		fmt.Printf("  %-12s %s\n", tokens[i], labels[i])
+	}
+}

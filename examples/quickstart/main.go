@@ -1,0 +1,61 @@
+// Quickstart: train a SACCS client, index a handful of restaurants from
+// their reviews, and answer a subjective utterance — the minimal end-to-end
+// path through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"saccs"
+)
+
+func main() {
+	fmt.Println("training the SACCS pipeline (MiniBERT + adversarial tagger)...")
+	client, err := saccs.New(saccs.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	entities := []saccs.Entity{
+		{
+			ID: "vue", Name: "Vue du Monde", City: "Montreal", Cuisine: "Italian",
+			Reviews: []string{
+				"The food is delicious and the staff is friendly.",
+				"Really good food and a quiet atmosphere.",
+				"Amazing pizza. The waiters were very attentive.",
+			},
+		},
+		{
+			ID: "hut", Name: "Pizza Hut", City: "Montreal", Cuisine: "Italian",
+			Reviews: []string{
+				"The food was bland and the staff was rude.",
+				"Fast delivery but the plates were dirty.",
+			},
+		},
+		{
+			ID: "anchovy", Name: "Anchovy", City: "Montreal", Cuisine: "Italian",
+			Reviews: []string{
+				"Creative cooking and fresh ingredients.",
+				"The menu is varied and the cooking is inventive.",
+			},
+		},
+	}
+
+	fmt.Println("indexing subjective tags from reviews...")
+	if err := client.IndexEntities(entities, client.CanonicalTags()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index holds %d subjective tags\n\n", len(client.IndexedTags()))
+
+	utterance := "I want an Italian restaurant in Montreal with delicious food and nice staff"
+	fmt.Printf("user: %q\n", utterance)
+	resp := client.Query(utterance)
+	fmt.Printf("intent: %s  slots: %v\n", resp.Intent, resp.Slots)
+	fmt.Printf("subjective tags: %v\n", resp.Tags)
+	fmt.Println("results:")
+	for i, r := range resp.Results {
+		e, _ := client.Entity(r.ID)
+		fmt.Printf("  %d. %-14s (degree of truth %.2f)\n", i+1, e.Name, r.Score)
+	}
+}

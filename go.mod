@@ -1,0 +1,3 @@
+module saccs
+
+go 1.22

@@ -1,0 +1,123 @@
+package bert
+
+import (
+	"math/rand"
+
+	"saccs/internal/mat"
+	"saccs/internal/nn"
+	"saccs/internal/tokenize"
+)
+
+// MLMConfig tunes masked-language-model training.
+type MLMConfig struct {
+	// MaskProb is the fraction of tokens selected for prediction (BERT's 15%).
+	MaskProb float64
+	// LR is the Adam learning rate.
+	LR float64
+	// Epochs over the corpus.
+	Epochs int
+	// ClipNorm bounds the global gradient norm per step.
+	ClipNorm float64
+}
+
+// DefaultMLMConfig returns the training recipe used by the reproduction.
+func DefaultMLMConfig() MLMConfig {
+	return MLMConfig{MaskProb: 0.15, LR: 1e-3, Epochs: 3, ClipNorm: 5}
+}
+
+// TrainMLM runs masked-language-model training over the corpus (one sentence
+// per step) and returns the mean loss of the final epoch. Selected positions
+// follow BERT's 80/10/10 rule: 80% become [MASK], 10% a random token, 10%
+// stay unchanged.
+func (m *Model) TrainMLM(rng *rand.Rand, corpus [][]string, cfg MLMConfig) float64 {
+	opt := nn.NewAdam(cfg.LR)
+	params := m.Params()
+	maskID := m.Vocab.ID(tokenize.MaskToken)
+	var lastEpochLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var total float64
+		var count int
+		for _, sent := range corpus {
+			ids := m.truncate(m.Vocab.Encode(sent))
+			if len(ids) == 0 {
+				continue
+			}
+			masked := append([]int(nil), ids...)
+			var targets []int // positions to predict
+			for i := range masked {
+				if rng.Float64() >= cfg.MaskProb {
+					continue
+				}
+				targets = append(targets, i)
+				switch r := rng.Float64(); {
+				case r < 0.8:
+					masked[i] = maskID
+				case r < 0.9:
+					masked[i] = rng.Intn(m.Vocab.Len())
+				}
+			}
+			if len(targets) == 0 {
+				targets = append(targets, rng.Intn(len(masked)))
+				masked[targets[0]] = maskID
+			}
+			nn.ZeroGrads(params)
+			hs := m.Encode(masked)
+			dhs := make([]mat.Vec, len(hs))
+			for i := range dhs {
+				dhs[i] = mat.NewVec(m.Cfg.Dim)
+			}
+			var loss float64
+			for _, pos := range targets {
+				logits := m.MLMHead.Forward(hs[pos])
+				l, dLogits := nn.SoftmaxCE(logits, ids[pos])
+				loss += l
+				dhs[pos].Add(m.MLMHead.Backward(hs[pos], dLogits))
+			}
+			m.Backward(dhs)
+			nn.ClipGrads(params, cfg.ClipNorm)
+			opt.Step(params)
+			total += loss / float64(len(targets))
+			count++
+		}
+		if count > 0 {
+			lastEpochLoss = total / float64(count)
+		}
+	}
+	return lastEpochLoss
+}
+
+// MLMLoss evaluates the mean per-token masked loss on a corpus without
+// updating weights (deterministic masking by the provided rng).
+func (m *Model) MLMLoss(rng *rand.Rand, corpus [][]string, maskProb float64) float64 {
+	maskID := m.Vocab.ID(tokenize.MaskToken)
+	var total float64
+	var count int
+	for _, sent := range corpus {
+		ids := m.truncate(m.Vocab.Encode(sent))
+		if len(ids) == 0 {
+			continue
+		}
+		masked := append([]int(nil), ids...)
+		var targets []int
+		for i := range masked {
+			if rng.Float64() < maskProb {
+				targets = append(targets, i)
+				masked[i] = maskID
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		hs := m.Encode(masked)
+		for _, pos := range targets {
+			logits := m.MLMHead.Forward(hs[pos])
+			l, _ := nn.SoftmaxCE(logits, ids[pos])
+			total += l
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}

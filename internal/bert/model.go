@@ -1,0 +1,152 @@
+package bert
+
+import (
+	"fmt"
+	"math/rand"
+
+	"saccs/internal/mat"
+	"saccs/internal/nn"
+	"saccs/internal/tokenize"
+)
+
+// Config sizes a MiniBERT model.
+type Config struct {
+	// Layers is the number of transformer blocks.
+	Layers int
+	// Heads per block; Dim must be divisible by Heads.
+	Heads int
+	// Dim is the hidden width.
+	Dim int
+	// FFDim is the feed-forward inner width.
+	FFDim int
+	// MaxLen bounds sequence length (position table size).
+	MaxLen int
+}
+
+// DefaultConfig returns the laptop-scale configuration used across the
+// reproduction: 2 layers × 8 heads × 64 dims.
+func DefaultConfig() Config {
+	return Config{Layers: 2, Heads: 8, Dim: 64, FFDim: 128, MaxLen: 48}
+}
+
+// Model is the MiniBERT encoder plus its MLM head.
+type Model struct {
+	Cfg    Config
+	Vocab  *tokenize.Vocab
+	TokEmb *nn.Embedding
+	PosEmb *nn.Embedding
+	Blocks []*Block
+	// MLMHead projects hidden states back onto the vocabulary.
+	MLMHead *nn.Linear
+
+	lastIDs    []int
+	lastEmbeds []mat.Vec
+}
+
+// New builds a randomly initialized MiniBERT over the given vocabulary.
+func New(rng *rand.Rand, cfg Config, vocab *tokenize.Vocab) *Model {
+	m := &Model{
+		Cfg:     cfg,
+		Vocab:   vocab,
+		TokEmb:  nn.NewEmbedding(rng, "bert.tok", vocab.Len(), cfg.Dim),
+		PosEmb:  nn.NewEmbedding(rng, "bert.pos", cfg.MaxLen, cfg.Dim),
+		MLMHead: nn.NewLinear(rng, "bert.mlm", cfg.Dim, vocab.Len()),
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		m.Blocks = append(m.Blocks, NewBlock(rng, fmt.Sprintf("bert.block%d", i), cfg.Dim, cfg.Heads, cfg.FFDim))
+	}
+	return m
+}
+
+// Params returns every learnable tensor, MLM head included.
+func (m *Model) Params() []*nn.Param {
+	ps := append(m.TokEmb.Params(), m.PosEmb.Params()...)
+	for _, b := range m.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	return append(ps, m.MLMHead.Params()...)
+}
+
+// EncoderParams returns the learnable tensors without the MLM head.
+func (m *Model) EncoderParams() []*nn.Param {
+	ps := append(m.TokEmb.Params(), m.PosEmb.Params()...)
+	for _, b := range m.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}
+
+// truncate clips ids to the model's positional capacity.
+func (m *Model) truncate(ids []int) []int {
+	if len(ids) > m.Cfg.MaxLen {
+		return ids[:m.Cfg.MaxLen]
+	}
+	return ids
+}
+
+// Encode runs the encoder over token ids and returns one contextual vector
+// per token. Sequences longer than MaxLen are truncated. The internal caches
+// remain valid for Attention and backward passes until the next Encode.
+func (m *Model) Encode(ids []int) []mat.Vec {
+	ids = m.truncate(ids)
+	m.lastIDs = ids
+	xs := make([]mat.Vec, len(ids))
+	for i, id := range ids {
+		v := m.TokEmb.Lookup(id)
+		v.Add(m.PosEmb.Table.W.Row(i))
+		xs[i] = v
+	}
+	m.lastEmbeds = xs
+	h := xs
+	for _, b := range m.Blocks {
+		h = b.ForwardSeq(h)
+	}
+	return h
+}
+
+// EncodeTokens tokenizes against the model vocabulary and encodes.
+func (m *Model) EncodeTokens(tokens []string) []mat.Vec {
+	return m.Encode(m.Vocab.Encode(tokens))
+}
+
+// Backward backpropagates upstream gradients through the blocks and the
+// embeddings of the most recent Encode. It returns the gradient with respect
+// to the summed token+position input embeddings (useful for FGSM).
+func (m *Model) Backward(dhs []mat.Vec) []mat.Vec {
+	d := dhs
+	for i := len(m.Blocks) - 1; i >= 0; i-- {
+		d = m.Blocks[i].BackwardSeq(d)
+	}
+	for i, id := range m.lastIDs {
+		m.TokEmb.Accumulate(id, d[i])
+		m.PosEmb.Accumulate(i, d[i])
+	}
+	return d
+}
+
+// Attention returns the attention matrix of (layer, head) from the most
+// recent Encode: row i is token i's attention distribution (Fig. 5).
+func (m *Model) Attention(layer, head int) []mat.Vec {
+	if layer < 0 || layer >= len(m.Blocks) {
+		return nil
+	}
+	return m.Blocks[layer].Attn.Attention(head)
+}
+
+// EmbeddingDim returns the contextual vector width.
+func (m *Model) EmbeddingDim() int { return m.Cfg.Dim }
+
+// SentenceVec encodes tokens and mean-pools the contextual vectors — the
+// sentence encoding used by the discriminative pairing classifier (§5.2).
+func (m *Model) SentenceVec(tokens []string) mat.Vec {
+	hs := m.EncodeTokens(tokens)
+	out := mat.NewVec(m.Cfg.Dim)
+	if len(hs) == 0 {
+		return out
+	}
+	for _, h := range hs {
+		out.Add(h)
+	}
+	out.Scale(1 / float64(len(hs)))
+	return out
+}

@@ -1,0 +1,326 @@
+// Package core assembles the paper's contribution — the Subjectivity Aware
+// Conversational Search Service (SACCS) — from its parts: the extraction
+// pipeline (tagging §4 + pairing §5) that turns utterances and reviews into
+// subjective tags, the subjective tag inverted index with degrees of truth
+// (§3.1), and the filtering & ranking of Algorithm 1 over an objective
+// search API (§3.2–3.3), with the adaptive user-tag-history loop of Fig. 1.
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"saccs/internal/corpus"
+	"saccs/internal/index"
+	"saccs/internal/pairing"
+	"saccs/internal/search"
+	"saccs/internal/sim"
+	"saccs/internal/tokenize"
+	"saccs/internal/yelp"
+)
+
+// Tagger labels tokens with IOB aspect/opinion classes; tagger.Model and
+// tagger.OpineDB both satisfy it.
+type Tagger interface {
+	Predict(tokens []string) []tokenize.Label
+}
+
+// Pairer associates aspect spans with opinion spans; the §5.1 heuristics
+// satisfy it directly and ClassifierPairer adapts the supervised model.
+type Pairer interface {
+	Pairs(tokens []string, aspects, opinions []tokenize.Span) []pairing.Pair
+}
+
+// ClassifierPairer adapts the §5.2 discriminative model to the Pairer
+// interface: every P_all candidate scoring above Threshold becomes a pair.
+type ClassifierPairer struct {
+	C *pairing.Classifier
+	// Threshold on the positive probability (0 defaults to 0.5).
+	Threshold float64
+}
+
+// Pairs scores every aspect×opinion combination and keeps the positives.
+func (p ClassifierPairer) Pairs(tokens []string, aspects, opinions []tokenize.Span) []pairing.Pair {
+	th := p.Threshold
+	if th == 0 {
+		th = 0.5
+	}
+	var out []pairing.Pair
+	for _, a := range aspects {
+		for _, o := range opinions {
+			cand := pairing.Candidate{
+				Tokens: tokens, Aspects: aspects, Opinions: opinions,
+				Aspect: a, Opinion: o,
+			}
+			if p.C.Predict(cand) >= th {
+				out = append(out, pairing.Pair{Aspect: a, Opinion: o})
+			}
+		}
+	}
+	return out
+}
+
+// Extractor is the full §4+§5 pipeline: tag tokens, split spans, pair them,
+// and render subjective tags as "<opinion> <aspect>".
+type Extractor struct {
+	Tagger Tagger
+	Pairer Pairer
+}
+
+// ExtractFromTokens extracts subjective tags from one tokenized sentence.
+func (e *Extractor) ExtractFromTokens(tokens []string) []string {
+	labels := e.Tagger.Predict(tokens)
+	spans := tokenize.Spans(labels)
+	var aspects, opinions []tokenize.Span
+	for _, sp := range spans {
+		if sp.Kind == tokenize.AspectSpan {
+			aspects = append(aspects, sp)
+		} else {
+			opinions = append(opinions, sp)
+		}
+	}
+	var tags []string
+	seen := map[string]bool{}
+	for _, p := range e.Pairer.Pairs(tokens, aspects, opinions) {
+		tag := p.Opinion.Text(tokens) + " " + p.Aspect.Text(tokens)
+		if !seen[tag] {
+			seen[tag] = true
+			tags = append(tags, tag)
+		}
+	}
+	return tags
+}
+
+// ExtractTags splits free text into sentences and extracts tags from each.
+func (e *Extractor) ExtractTags(text string) []string {
+	var tags []string
+	seen := map[string]bool{}
+	for _, sent := range tokenize.Sentences(text) {
+		for _, tag := range e.ExtractFromTokens(tokenize.Words(sent)) {
+			if !seen[tag] {
+				seen[tag] = true
+				tags = append(tags, tag)
+			}
+		}
+	}
+	return tags
+}
+
+// ReviewTagSource yields subjective tags for a review. NeuralSource runs the
+// extraction pipeline; GoldSource reads the generator's gold mentions and is
+// used to isolate index/ranking quality from extraction noise in ablations.
+type ReviewTagSource interface {
+	Tags(r *yelp.Review) []string
+}
+
+// NeuralSource extracts review tags with the full pipeline.
+type NeuralSource struct {
+	E *Extractor
+}
+
+// Tags runs the extractor over every sentence of the review.
+func (n NeuralSource) Tags(r *yelp.Review) []string {
+	var out []string
+	for _, s := range r.Sentences {
+		out = append(out, n.E.ExtractFromTokens(s.Tokens)...)
+	}
+	return out
+}
+
+// GoldSource reads the generator's gold annotation.
+type GoldSource struct{}
+
+// Tags renders each gold mention as "<opinion> <aspect>".
+func (GoldSource) Tags(r *yelp.Review) []string {
+	var out []string
+	for _, s := range r.Sentences {
+		for _, m := range s.Mentions {
+			out = append(out, m.OpinionText(s.Tokens)+" "+m.AspectText(s.Tokens))
+		}
+	}
+	return out
+}
+
+// Config tunes the service.
+type Config struct {
+	// ThetaIndex is the Eq. 1 review-tag similarity threshold.
+	ThetaIndex float64
+	// ThetaFilter is the Algorithm 1 unknown-tag similarity threshold.
+	ThetaFilter float64
+	// Agg is the §3.3 cross-tag aggregation.
+	Agg search.Aggregation
+	// TopK truncates query answers (0 = all).
+	TopK int
+}
+
+// DefaultConfig returns the thresholds used across the reproduction.
+func DefaultConfig() Config {
+	return Config{ThetaIndex: 0.55, ThetaFilter: 0.45, Agg: search.MeanAgg, TopK: 10}
+}
+
+// Response is the answer to one subjective utterance.
+type Response struct {
+	// Intent is the dialog system's parse.
+	Intent search.Intent
+	// Tags are the subjective tags extracted from the utterance.
+	Tags []string
+	// UnknownTags are the extracted tags missing from the index (queued in
+	// the user tag history for the next indexing round).
+	UnknownTags []string
+	// Results are the filtered, ranked entities.
+	Results []search.Scored
+}
+
+// Service is the assembled SACCS system.
+type Service struct {
+	Cfg       Config
+	World     *yelp.World
+	Extractor *Extractor
+	Measure   sim.Measure
+	Index     *index.Index
+	History   *index.History
+	API       *search.API
+	Ranker    *search.Ranker
+
+	entityTags []index.EntityReviews
+}
+
+// NewService wires a SACCS instance over a world. The similarity measure
+// defaults to conceptual similarity (§3.1) when nil.
+func NewService(w *yelp.World, ex *Extractor, measure sim.Measure, cfg Config) *Service {
+	if measure == nil {
+		measure = sim.NewConceptual()
+	}
+	ix := index.New(measure, cfg.ThetaIndex)
+	return &Service{
+		Cfg:       cfg,
+		World:     w,
+		Extractor: ex,
+		Measure:   measure,
+		Index:     ix,
+		History:   index.NewHistory(),
+		API:       &search.API{World: w},
+		Ranker:    &search.Ranker{Index: ix, ThetaFilter: cfg.ThetaFilter, Agg: cfg.Agg},
+	}
+}
+
+// BuildEntityTags runs the tag source over every review once and caches the
+// per-entity tag multisets the indexer consumes.
+func (s *Service) BuildEntityTags(src ReviewTagSource) {
+	s.entityTags = s.entityTags[:0]
+	for _, e := range s.World.Entities {
+		er := index.EntityReviews{EntityID: e.ID, ReviewCount: len(e.Reviews)}
+		for _, r := range e.Reviews {
+			er.Tags = append(er.Tags, src.Tags(r)...)
+		}
+		s.entityTags = append(s.entityTags, er)
+	}
+}
+
+// EntityTags exposes the cached extraction (after BuildEntityTags).
+func (s *Service) EntityTags() []index.EntityReviews {
+	return append([]index.EntityReviews(nil), s.entityTags...)
+}
+
+// ResetIndex discards the index and user tag history, keeping the cached
+// entity tags — used to sweep index sizes over one extraction pass.
+func (s *Service) ResetIndex() {
+	s.Index = index.New(s.Measure, s.Cfg.ThetaIndex)
+	s.History = index.NewHistory()
+	s.Ranker = &search.Ranker{Index: s.Index, ThetaFilter: s.Cfg.ThetaFilter, Agg: s.Cfg.Agg}
+}
+
+// IndexTags runs an indexing round for the given tags (Fig. 1's indexer).
+// BuildEntityTags must have run first.
+func (s *Service) IndexTags(tags []string) {
+	for _, t := range tags {
+		s.Index.AddTag(strings.ToLower(t), s.entityTags)
+	}
+}
+
+// IndexPending drains the user tag history into the index — the adaptive
+// round of §3.1 — and returns the tags indexed.
+func (s *Service) IndexPending() []string {
+	pend := s.History.Drain()
+	s.IndexTags(pend)
+	return pend
+}
+
+// QueryTags answers a query expressed directly as subjective tags plus
+// objective slots (the Table 2 harness path). Unknown tags go to the
+// history.
+func (s *Service) QueryTags(slots map[string]string, tags []string) []search.Scored {
+	apiResults := s.API.Search(slots)
+	for _, t := range tags {
+		if !s.Index.Has(strings.ToLower(t)) {
+			s.History.Add(strings.ToLower(t))
+		}
+	}
+	ranked := s.Ranker.Rank(apiResults, lower(tags))
+	if s.Cfg.TopK > 0 && len(ranked) > s.Cfg.TopK {
+		ranked = ranked[:s.Cfg.TopK]
+	}
+	return ranked
+}
+
+// Query answers a natural-language utterance end-to-end: intent + slots,
+// subjective tag extraction, index probe, filtering and ranking.
+func (s *Service) Query(utterance string) Response {
+	intent := search.ParseUtterance(utterance)
+	tags := s.Extractor.ExtractTags(utterance)
+	var unknown []string
+	for _, t := range tags {
+		if !s.Index.Has(t) {
+			unknown = append(unknown, t)
+			s.History.Add(t)
+		}
+	}
+	results := s.Ranker.Rank(s.API.Search(intent.Slots), tags)
+	if s.Cfg.TopK > 0 && len(results) > s.Cfg.TopK {
+		results = results[:s.Cfg.TopK]
+	}
+	return Response{Intent: intent, Tags: tags, UnknownTags: unknown, Results: results}
+}
+
+// CanonicalTags returns the world's feature tags sorted — the 18 tags of
+// §6.2 for the restaurants domain.
+func (s *Service) CanonicalTags() []string {
+	var tags []string
+	for _, f := range s.World.Domain.Features {
+		tags = append(tags, f.Name)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+func lower(tags []string) []string {
+	out := make([]string, len(tags))
+	for i, t := range tags {
+		out[i] = strings.ToLower(t)
+	}
+	return out
+}
+
+// GoldTagger tags sentences by replaying the generator's gold labels; it
+// exists for tests and ablations that isolate the pairing or ranking stages
+// from tagging noise. It matches sentences by their joined token text.
+type GoldTagger struct {
+	gold map[string][]tokenize.Label
+}
+
+// NewGoldTagger indexes gold sentences for lookup.
+func NewGoldTagger(sentences []corpus.Sentence) *GoldTagger {
+	g := &GoldTagger{gold: map[string][]tokenize.Label{}}
+	for _, s := range sentences {
+		g.gold[strings.Join(s.Tokens, " ")] = s.Labels
+	}
+	return g
+}
+
+// Predict returns the stored gold labels, or all-O for unknown sentences.
+func (g *GoldTagger) Predict(tokens []string) []tokenize.Label {
+	if labels, ok := g.gold[strings.Join(tokens, " ")]; ok {
+		return labels
+	}
+	return make([]tokenize.Label, len(tokens))
+}

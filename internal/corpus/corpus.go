@@ -1,0 +1,477 @@
+// Package corpus generates the synthetic review language every experiment in
+// this reproduction runs on. A grammar over a domain lexicon emits review
+// sentences together with gold IOB labels and gold aspect↔opinion pairings —
+// the ground truth the paper obtained from SemEval annotations and OpineDB's
+// labeled corpora (Table 3). The grammar deliberately produces the phenomena
+// the paper's techniques target: multi-word aspect and opinion terms, several
+// aspects and opinions per sentence (pairing ambiguity, §5), domain idioms
+// ("la carte", "a killer", §4.2), intensifiers, negation, and optional typo
+// noise (§5.1 limitation (ii)).
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+
+	"saccs/internal/lexicon"
+	"saccs/internal/tokenize"
+)
+
+// Mention records one subjective statement inside a sentence: which feature
+// it expresses, its polarity, and the aspect and opinion spans realizing it.
+type Mention struct {
+	FeatureID int
+	Positive  bool
+	Aspect    tokenize.Span
+	Opinion   tokenize.Span
+}
+
+// Pair is a gold aspect↔opinion association.
+type Pair struct {
+	Aspect  tokenize.Span
+	Opinion tokenize.Span
+}
+
+// Sentence is one generated review sentence with full gold annotation.
+type Sentence struct {
+	Tokens   []string
+	Labels   []tokenize.Label
+	Pairs    []Pair
+	Mentions []Mention
+}
+
+// Text joins the tokens back into a display string (simple detokenization:
+// no space before punctuation).
+func (s Sentence) Text() string {
+	var b strings.Builder
+	for i, tok := range s.Tokens {
+		if i > 0 && tok != "." && tok != "," && tok != "!" && tok != "?" {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tok)
+	}
+	return b.String()
+}
+
+// AspectText returns the surface form of a mention's aspect term.
+func (m Mention) AspectText(tokens []string) string { return m.Aspect.Text(tokens) }
+
+// OpinionText returns the surface form of a mention's opinion term.
+func (m Mention) OpinionText(tokens []string) string { return m.Opinion.Text(tokens) }
+
+// Options tunes the generator.
+type Options struct {
+	// MaxClauses bounds subjective clauses per sentence (default 2).
+	MaxClauses int
+	// TypoProb is the per-token probability of injecting a typo (default 0).
+	TypoProb float64
+	// DistractorProb is the probability of appending an objective filler
+	// clause carrying no subjective content (default 0.3).
+	DistractorProb float64
+	// IntensifierProb is the probability of prefixing a single-word opinion
+	// with an intensifier, which joins the opinion span (default 0.35).
+	IntensifierProb float64
+	// NegationProb is the probability of realizing a negative mention as
+	// "not <positive-opinion>" instead of a negative variant (default 0.25).
+	NegationProb float64
+	// MultiOpinionProb makes a clause attach 2–3 opinions to one aspect
+	// (default 0.2) — the word-distance-hostile shape of §5.
+	MultiOpinionProb float64
+	// MultiAspectProb makes a clause attach one opinion to two aspects
+	// (default 0.1).
+	MultiAspectProb float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxClauses == 0 {
+		o.MaxClauses = 2
+	}
+	if o.DistractorProb == 0 {
+		o.DistractorProb = 0.3
+	}
+	if o.IntensifierProb == 0 {
+		o.IntensifierProb = 0.35
+	}
+	if o.NegationProb == 0 {
+		o.NegationProb = 0.25
+	}
+	if o.MultiOpinionProb == 0 {
+		o.MultiOpinionProb = 0.2
+	}
+	if o.MultiAspectProb == 0 {
+		o.MultiAspectProb = 0.1
+	}
+	return o
+}
+
+// Generator emits annotated sentences for one domain. It is not safe for
+// concurrent use; create one per goroutine.
+type Generator struct {
+	Domain *lexicon.Domain
+	Opts   Options
+	rng    *rand.Rand
+}
+
+// NewGenerator returns a generator over domain seeded deterministically.
+func NewGenerator(domain *lexicon.Domain, seed int64, opts Options) *Generator {
+	return &Generator{Domain: domain, Opts: opts.withDefaults(), rng: rand.New(rand.NewSource(seed))}
+}
+
+var intensifiers = []string{"really", "very", "absolutely", "quite", "truly", "incredibly"}
+
+var copulas = []string{"is", "was", "are", "were"}
+
+var connectors = []string{"and", "but", "while"}
+
+var distractors = [][]string{
+	{"we", "came", "back", "twice"},
+	{"i", "will", "definitely", "return"},
+	{"it", "was", "a", "busy", "evening"},
+	{"my", "friends", "joined", "us", "late"},
+	{"we", "booked", "a", "table", "in", "advance"},
+	{"the", "place", "opened", "in", "2019"},
+	{"parking", "took", "a", "while"},
+}
+
+// pick returns a uniform random element of xs.
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+
+// MentionSpec requests one subjective statement in a generated sentence.
+type MentionSpec struct {
+	FeatureID int
+	Positive  bool
+}
+
+// Sentence generates a random sentence with 1..MaxClauses subjective clauses
+// over random features and polarities (70% positive).
+func (g *Generator) Sentence() Sentence {
+	n := 1 + g.rng.Intn(g.Opts.MaxClauses)
+	specs := make([]MentionSpec, 0, n)
+	used := map[int]bool{}
+	for len(specs) < n {
+		fid := g.rng.Intn(len(g.Domain.Features))
+		if used[fid] {
+			continue
+		}
+		used[fid] = true
+		specs = append(specs, MentionSpec{FeatureID: fid, Positive: g.rng.Float64() < 0.7})
+	}
+	return g.SentenceFor(specs)
+}
+
+// SentenceFor generates one sentence realizing exactly the requested
+// mentions, in order, joined by connectors, with optional distractor clause
+// and terminal punctuation. Gold labels and pairs are produced by
+// construction.
+func (g *Generator) SentenceFor(specs []MentionSpec) Sentence {
+	var s Sentence
+	for i, spec := range specs {
+		if i > 0 {
+			s.appendO(pick(g.rng, connectors))
+		}
+		g.clause(&s, spec)
+	}
+	if g.rng.Float64() < g.Opts.DistractorProb {
+		if len(specs) > 0 {
+			s.appendO(pick(g.rng, connectors))
+		}
+		for _, w := range pick(g.rng, distractors) {
+			s.appendO(w)
+		}
+	}
+	s.appendO(pick(g.rng, []string{".", ".", ".", "!"}))
+	if g.Opts.TypoProb > 0 {
+		g.perturb(&s)
+	}
+	return s
+}
+
+// clause realizes one mention with a randomly chosen surface pattern.
+func (g *Generator) clause(s *Sentence, spec MentionSpec) {
+	f := g.Domain.Features[spec.FeatureID]
+	r := g.rng.Float64()
+	switch {
+	case r < g.Opts.MultiOpinionProb:
+		g.multiOpinionClause(s, f, spec)
+	case r < g.Opts.MultiOpinionProb+g.Opts.MultiAspectProb:
+		g.multiAspectClause(s, f, spec)
+	case g.rng.Float64() < 0.3:
+		g.attributiveClause(s, f, spec)
+	default:
+		g.copularClause(s, f, spec)
+	}
+}
+
+// copularClause: "the <aspect> is <opinion>".
+func (g *Generator) copularClause(s *Sentence, f lexicon.Feature, spec MentionSpec) {
+	s.appendO("the")
+	asp := s.appendSpan(g.aspectWords(f), tokenize.AspectSpan)
+	s.appendO(pick(g.rng, copulas))
+	op := s.appendSpan(g.opinionWords(f, spec.Positive), tokenize.OpinionSpan)
+	s.addMention(spec, asp, op)
+}
+
+// attributiveClause: "they serve <opinion> <aspect>" / "<opinion> <aspect> here".
+func (g *Generator) attributiveClause(s *Sentence, f lexicon.Feature, spec MentionSpec) {
+	if g.rng.Intn(2) == 0 {
+		s.appendO("they")
+		s.appendO(pick(g.rng, []string{"serve", "offer", "have"}))
+	} else {
+		s.appendO(pick(g.rng, []string{"expect", "imagine"}))
+	}
+	op := s.appendSpan(g.opinionWords(f, spec.Positive), tokenize.OpinionSpan)
+	asp := s.appendSpan(g.aspectWords(f), tokenize.AspectSpan)
+	if g.rng.Intn(2) == 0 {
+		s.appendO("here")
+	}
+	s.addMention(spec, asp, op)
+}
+
+// multiOpinionClause: "the <aspect> is <op1> , <op2> and <op3>" — one aspect,
+// several opinions, the §5 shape that defeats word distance.
+func (g *Generator) multiOpinionClause(s *Sentence, f lexicon.Feature, spec MentionSpec) {
+	s.appendO("the")
+	asp := s.appendSpan(g.aspectWords(f), tokenize.AspectSpan)
+	s.appendO(pick(g.rng, copulas))
+	nOps := 2 + g.rng.Intn(2)
+	pool := f.PosOps
+	if !spec.Positive {
+		pool = f.NegOps
+	}
+	seen := map[string]bool{}
+	for i := 0; i < nOps; i++ {
+		variant := pick(g.rng, pool)
+		if seen[variant] {
+			continue
+		}
+		seen[variant] = true
+		if i > 0 {
+			if i == nOps-1 {
+				s.appendO("and")
+			} else {
+				s.appendO(",")
+			}
+		}
+		op := s.appendSpan(strings.Fields(variant), tokenize.OpinionSpan)
+		s.addMention(spec, asp, op)
+	}
+}
+
+// multiAspectClause: "the <a1> and the <a2> are <opinion>" — one opinion
+// shared by two aspects (footnote 4 of the paper).
+func (g *Generator) multiAspectClause(s *Sentence, f lexicon.Feature, spec MentionSpec) {
+	other := f
+	for tries := 0; tries < 5; tries++ {
+		cand := g.Domain.Features[g.rng.Intn(len(g.Domain.Features))]
+		if cand.ID != f.ID {
+			other = cand
+			break
+		}
+	}
+	s.appendO("the")
+	asp1 := s.appendSpan(g.aspectWords(f), tokenize.AspectSpan)
+	s.appendO("and")
+	s.appendO("the")
+	asp2 := s.appendSpan(g.aspectWords(other), tokenize.AspectSpan)
+	s.appendO("are")
+	op := s.appendSpan(g.opinionWords(f, spec.Positive), tokenize.OpinionSpan)
+	s.addMention(spec, asp1, op)
+	s.addMention(MentionSpec{FeatureID: other.ID, Positive: spec.Positive}, asp2, op)
+}
+
+// aspectWords picks an aspect surface form, tokenized.
+func (g *Generator) aspectWords(f lexicon.Feature) []string {
+	return strings.Fields(pick(g.rng, f.AspectSyns))
+}
+
+// opinionWords picks an opinion surface form for the polarity, applying
+// negation ("not <pos>") and intensifier rules. The returned words form the
+// full opinion span.
+func (g *Generator) opinionWords(f lexicon.Feature, positive bool) []string {
+	if !positive && g.rng.Float64() < g.Opts.NegationProb {
+		words := strings.Fields(pick(g.rng, f.PosOps))
+		return append([]string{"not"}, words...)
+	}
+	pool := f.PosOps
+	if !positive {
+		pool = f.NegOps
+	}
+	words := strings.Fields(pick(g.rng, pool))
+	if len(words) == 1 && g.rng.Float64() < g.Opts.IntensifierProb {
+		words = append([]string{pick(g.rng, intensifiers)}, words...)
+	}
+	return words
+}
+
+// appendO appends a token labeled O.
+func (s *Sentence) appendO(tok string) {
+	s.Tokens = append(s.Tokens, tok)
+	s.Labels = append(s.Labels, tokenize.O)
+}
+
+// appendSpan appends words as a labeled chunk and returns its span.
+func (s *Sentence) appendSpan(words []string, kind tokenize.SpanKind) tokenize.Span {
+	start := len(s.Tokens)
+	b, i := tokenize.BAS, tokenize.IAS
+	if kind == tokenize.OpinionSpan {
+		b, i = tokenize.BOP, tokenize.IOP
+	}
+	for j, w := range words {
+		s.Tokens = append(s.Tokens, w)
+		if j == 0 {
+			s.Labels = append(s.Labels, b)
+		} else {
+			s.Labels = append(s.Labels, i)
+		}
+	}
+	return tokenize.Span{Kind: kind, Start: start, End: len(s.Tokens)}
+}
+
+func (s *Sentence) addMention(spec MentionSpec, asp, op tokenize.Span) {
+	s.Pairs = append(s.Pairs, Pair{Aspect: asp, Opinion: op})
+	s.Mentions = append(s.Mentions, Mention{
+		FeatureID: spec.FeatureID,
+		Positive:  spec.Positive,
+		Aspect:    asp,
+		Opinion:   op,
+	})
+}
+
+// perturb injects character-level typos into O-labeled tokens and may drop
+// punctuation — the §5.1 noise that breaks parse trees. Labeled spans are
+// kept intact (only their positions are remapped) so gold annotation stays
+// valid.
+func (g *Generator) perturb(s *Sentence) {
+	n := len(s.Tokens)
+	keep := make([]bool, n)
+	toks := append([]string(nil), s.Tokens...)
+	for i, tok := range s.Tokens {
+		keep[i] = true
+		if s.Labels[i] != tokenize.O || g.rng.Float64() >= g.Opts.TypoProb {
+			continue
+		}
+		if tok == "," || tok == "." {
+			keep[i] = false
+		} else {
+			toks[i] = typo(g.rng, tok)
+		}
+	}
+	newIdx := make([]int, n+1)
+	kept := 0
+	for i := 0; i < n; i++ {
+		newIdx[i] = kept
+		if keep[i] {
+			kept++
+		}
+	}
+	newIdx[n] = kept
+	outToks := make([]string, 0, kept)
+	outLabels := make([]tokenize.Label, 0, kept)
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			outToks = append(outToks, toks[i])
+			outLabels = append(outLabels, s.Labels[i])
+		}
+	}
+	remap := func(sp *tokenize.Span) {
+		sp.Start = newIdx[sp.Start]
+		sp.End = newIdx[sp.End]
+	}
+	for i := range s.Pairs {
+		remap(&s.Pairs[i].Aspect)
+		remap(&s.Pairs[i].Opinion)
+	}
+	for i := range s.Mentions {
+		remap(&s.Mentions[i].Aspect)
+		remap(&s.Mentions[i].Opinion)
+	}
+	s.Tokens = outToks
+	s.Labels = outLabels
+}
+
+// typo applies one random character edit: swap, drop, or duplicate.
+func typo(rng *rand.Rand, tok string) string {
+	r := []rune(tok)
+	if len(r) < 2 {
+		return tok
+	}
+	i := rng.Intn(len(r) - 1)
+	switch rng.Intn(3) {
+	case 0: // swap
+		r[i], r[i+1] = r[i+1], r[i]
+		return string(r)
+	case 1: // drop
+		return string(append(r[:i], r[i+1:]...))
+	default: // duplicate
+		out := make([]rune, 0, len(r)+1)
+		out = append(out, r[:i+1]...)
+		out = append(out, r[i])
+		out = append(out, r[i+1:]...)
+		return string(out)
+	}
+}
+
+// FunctionWords returns the closed-class vocabulary the grammar can emit
+// outside lexicon entries. Vocabulary builders include these.
+func FunctionWords() []string {
+	out := []string{
+		"the", "a", "an", "they", "we", "i", "it", "my", "and", "but",
+		"while", "not", "here", "serve", "offer", "have", "expect", "imagine",
+		".", ",", "!", "?",
+	}
+	out = append(out, intensifiers...)
+	for _, opener := range utteranceOpeners {
+		out = append(out, opener...)
+	}
+	out = append(out, copulas...)
+	for _, d := range distractors {
+		out = append(out, d...)
+	}
+	return out
+}
+
+var utteranceOpeners = [][]string{
+	{"i", "want", "a", "restaurant", "with"},
+	{"i", "am", "looking", "for", "a", "place", "with"},
+	{"find", "me", "somewhere", "with"},
+	{"i", "would", "like", "a", "restaurant", "that", "has"},
+	{"show", "me", "places", "with"},
+}
+
+// Utterance generates a user-utterance-style sentence ("i want a restaurant
+// with delicious food and nice staff") realizing the requested mentions as
+// attributive opinion+aspect phrases. Tagger training mixes these in so the
+// extractor handles conversational queries, not just review prose (§3.2).
+func (g *Generator) Utterance(specs []MentionSpec) Sentence {
+	var s Sentence
+	for _, w := range pick(g.rng, utteranceOpeners) {
+		s.appendO(w)
+	}
+	for i, spec := range specs {
+		if i > 0 {
+			s.appendO("and")
+		}
+		f := g.Domain.Features[spec.FeatureID]
+		op := s.appendSpan(g.opinionWords(f, spec.Positive), tokenize.OpinionSpan)
+		asp := s.appendSpan(g.aspectWords(f), tokenize.AspectSpan)
+		s.addMention(spec, asp, op)
+	}
+	return s
+}
+
+// RandomUtterance generates an utterance over 1..max random features, all
+// positive (users ask for what they want, not what they fear).
+func (g *Generator) RandomUtterance(max int) Sentence {
+	n := 1 + g.rng.Intn(max)
+	used := map[int]bool{}
+	var specs []MentionSpec
+	for len(specs) < n {
+		fid := g.rng.Intn(len(g.Domain.Features))
+		if used[fid] {
+			continue
+		}
+		used[fid] = true
+		specs = append(specs, MentionSpec{FeatureID: fid, Positive: true})
+	}
+	return g.Utterance(specs)
+}

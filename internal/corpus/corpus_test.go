@@ -1,0 +1,274 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"saccs/internal/lexicon"
+	"saccs/internal/tokenize"
+)
+
+func gen(t *testing.T, seed int64, opts Options) *Generator {
+	t.Helper()
+	return NewGenerator(lexicon.Restaurants(), seed, opts)
+}
+
+// checkInvariants asserts the structural gold-annotation invariants every
+// generated sentence must satisfy.
+func checkInvariants(t *testing.T, s Sentence) {
+	t.Helper()
+	if len(s.Tokens) != len(s.Labels) {
+		t.Fatalf("tokens/labels length mismatch: %d vs %d", len(s.Tokens), len(s.Labels))
+	}
+	if len(s.Tokens) == 0 {
+		t.Fatal("empty sentence")
+	}
+	// IOB sequence must be well-formed.
+	prev := tokenize.O
+	for i, l := range s.Labels {
+		if i == 0 && !tokenize.ValidStart(l) {
+			t.Fatalf("invalid start label %v in %v", l, s.Labels)
+		}
+		if i > 0 && !tokenize.ValidTransition(prev, l) {
+			t.Fatalf("invalid transition %v->%v in %v (%v)", prev, l, s.Labels, s.Tokens)
+		}
+		prev = l
+	}
+	// Every gold pair must reference spans matching the labels.
+	for _, p := range s.Pairs {
+		checkSpan(t, s, p.Aspect, tokenize.AspectSpan)
+		checkSpan(t, s, p.Opinion, tokenize.OpinionSpan)
+	}
+	// Mentions and pairs must correspond 1:1.
+	if len(s.Mentions) != len(s.Pairs) {
+		t.Fatalf("mentions/pairs mismatch: %d vs %d", len(s.Mentions), len(s.Pairs))
+	}
+}
+
+func checkSpan(t *testing.T, s Sentence, sp tokenize.Span, kind tokenize.SpanKind) {
+	t.Helper()
+	if sp.Start < 0 || sp.End > len(s.Tokens) || sp.Start >= sp.End {
+		t.Fatalf("span %v out of range for %d tokens (%v)", sp, len(s.Tokens), s.Tokens)
+	}
+	b, i := tokenize.BAS, tokenize.IAS
+	if kind == tokenize.OpinionSpan {
+		b, i = tokenize.BOP, tokenize.IOP
+	}
+	if s.Labels[sp.Start] != b {
+		t.Fatalf("span %v does not start with %v: %v / %v", sp, b, s.Tokens, s.Labels)
+	}
+	for j := sp.Start + 1; j < sp.End; j++ {
+		if s.Labels[j] != i {
+			t.Fatalf("span %v interior not %v at %d: %v / %v", sp, i, j, s.Tokens, s.Labels)
+		}
+	}
+}
+
+func TestSentenceInvariants(t *testing.T) {
+	g := gen(t, 1, Options{})
+	for trial := 0; trial < 500; trial++ {
+		checkInvariants(t, g.Sentence())
+	}
+}
+
+func TestSentenceInvariantsWithTypos(t *testing.T) {
+	g := gen(t, 2, Options{TypoProb: 0.4})
+	for trial := 0; trial < 500; trial++ {
+		checkInvariants(t, g.Sentence())
+	}
+}
+
+func TestSentenceForRealizesRequestedMentions(t *testing.T) {
+	g := gen(t, 3, Options{MultiOpinionProb: 0.0001, MultiAspectProb: 0.0001})
+	specs := []MentionSpec{
+		{FeatureID: 0, Positive: true},
+		{FeatureID: 4, Positive: false},
+	}
+	for trial := 0; trial < 50; trial++ {
+		s := g.SentenceFor(specs)
+		checkInvariants(t, s)
+		if len(s.Mentions) < 2 {
+			t.Fatalf("expected >=2 mentions, got %d", len(s.Mentions))
+		}
+		if s.Mentions[0].FeatureID != 0 || !s.Mentions[0].Positive {
+			t.Fatalf("first mention wrong: %+v", s.Mentions[0])
+		}
+	}
+}
+
+func TestSentenceForEmptySpecs(t *testing.T) {
+	g := gen(t, 4, Options{})
+	s := g.SentenceFor(nil)
+	checkInvariants(t, s)
+	if len(s.Pairs) != 0 {
+		t.Fatalf("no mentions requested but got pairs: %v", s.Pairs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := gen(t, 42, Options{}).Sentence()
+	b := gen(t, 42, Options{}).Sentence()
+	if a.Text() != b.Text() {
+		t.Fatalf("same seed must generate same text: %q vs %q", a.Text(), b.Text())
+	}
+}
+
+func TestMultiOpinionShape(t *testing.T) {
+	// Force multi-opinion clauses and verify several opinions pair with one aspect.
+	g := gen(t, 5, Options{MultiOpinionProb: 0.999, MaxClauses: 1, DistractorProb: 0.0001})
+	sawMulti := false
+	for trial := 0; trial < 100; trial++ {
+		s := g.SentenceFor([]MentionSpec{{FeatureID: 4, Positive: true}})
+		checkInvariants(t, s)
+		if len(s.Pairs) >= 2 {
+			sawMulti = true
+			a0 := s.Pairs[0].Aspect
+			for _, p := range s.Pairs[1:] {
+				if p.Aspect != a0 {
+					t.Fatalf("multi-opinion clause must share the aspect: %v", s.Pairs)
+				}
+			}
+		}
+	}
+	if !sawMulti {
+		t.Fatal("never generated a multi-opinion clause")
+	}
+}
+
+func TestMultiAspectShape(t *testing.T) {
+	g := gen(t, 6, Options{MultiAspectProb: 0.999, MultiOpinionProb: 0.0001, MaxClauses: 1, DistractorProb: 0.0001})
+	sawMulti := false
+	for trial := 0; trial < 100; trial++ {
+		s := g.SentenceFor([]MentionSpec{{FeatureID: 0, Positive: true}})
+		checkInvariants(t, s)
+		if len(s.Pairs) == 2 && s.Pairs[0].Opinion == s.Pairs[1].Opinion {
+			sawMulti = true
+		}
+	}
+	if !sawMulti {
+		t.Fatal("never generated a multi-aspect clause")
+	}
+}
+
+func TestNegationInsideOpinionSpan(t *testing.T) {
+	g := gen(t, 7, Options{NegationProb: 0.999, MaxClauses: 1, DistractorProb: 0.0001,
+		MultiOpinionProb: 0.0001, MultiAspectProb: 0.0001})
+	sawNot := false
+	for trial := 0; trial < 200; trial++ {
+		s := g.SentenceFor([]MentionSpec{{FeatureID: 0, Positive: false}})
+		checkInvariants(t, s)
+		for _, p := range s.Pairs {
+			if s.Tokens[p.Opinion.Start] == "not" {
+				sawNot = true
+				if s.Labels[p.Opinion.Start] != tokenize.BOP {
+					t.Fatal("negation token must begin the opinion span")
+				}
+			}
+		}
+	}
+	if !sawNot {
+		t.Fatal("negated opinions never generated")
+	}
+}
+
+func TestTextDetokenization(t *testing.T) {
+	s := Sentence{Tokens: []string{"the", "food", "is", "great", ",", "really", "."}}
+	if got := s.Text(); got != "the food is great, really." {
+		t.Fatalf("Text: %q", got)
+	}
+}
+
+func TestPerturbRemapsSpans(t *testing.T) {
+	// With aggressive typo probability, dropped punctuation must shift spans.
+	g := gen(t, 8, Options{TypoProb: 0.95, MultiOpinionProb: 0.999, MaxClauses: 1})
+	for trial := 0; trial < 300; trial++ {
+		s := g.SentenceFor([]MentionSpec{{FeatureID: 4, Positive: true}})
+		checkInvariants(t, s)
+	}
+}
+
+func TestTypoPreservesLabeledTokens(t *testing.T) {
+	// Labeled spans must never be typo-corrupted: aspect/opinion surface
+	// forms are exactly lexicon variants.
+	d := lexicon.Restaurants()
+	valid := map[string]bool{}
+	for _, f := range d.Features {
+		for _, v := range append(append(append([]string{}, f.AspectSyns...), f.PosOps...), f.NegOps...) {
+			for _, w := range strings.Fields(v) {
+				valid[w] = true
+			}
+		}
+	}
+	for _, w := range []string{"not"} {
+		valid[w] = true
+	}
+	for _, w := range intensifiers {
+		valid[w] = true
+	}
+	g := gen(t, 9, Options{TypoProb: 0.9})
+	for trial := 0; trial < 200; trial++ {
+		s := g.Sentence()
+		for i, l := range s.Labels {
+			if l != tokenize.O && !valid[s.Tokens[i]] {
+				t.Fatalf("labeled token %q corrupted (labels %v, tokens %v)", s.Tokens[i], s.Labels, s.Tokens)
+			}
+		}
+	}
+}
+
+func TestFunctionWordsNonEmptyAndLower(t *testing.T) {
+	ws := FunctionWords()
+	if len(ws) < 10 {
+		t.Fatal("too few function words")
+	}
+	for _, w := range ws {
+		if w == "" || w != strings.ToLower(w) {
+			t.Fatalf("bad function word %q", w)
+		}
+	}
+}
+
+func TestAllDomainsGenerate(t *testing.T) {
+	for _, d := range []*lexicon.Domain{lexicon.Restaurants(), lexicon.Electronics(), lexicon.Hotels()} {
+		g := NewGenerator(d, 10, Options{})
+		for trial := 0; trial < 100; trial++ {
+			checkInvariants(t, g.Sentence())
+		}
+	}
+}
+
+func TestUtteranceShape(t *testing.T) {
+	g := gen(t, 11, Options{})
+	for trial := 0; trial < 100; trial++ {
+		s := g.RandomUtterance(3)
+		checkInvariants(t, s)
+		if len(s.Mentions) < 1 || len(s.Mentions) > 3 {
+			t.Fatalf("mentions: %d", len(s.Mentions))
+		}
+		for _, m := range s.Mentions {
+			if !m.Positive {
+				t.Fatal("utterances ask for positive qualities")
+			}
+			// Attributive order: opinion precedes aspect.
+			if m.Opinion.Start >= m.Aspect.Start {
+				t.Fatalf("utterance must be opinion-then-aspect: %v", s.Tokens)
+			}
+		}
+	}
+}
+
+func TestUtteranceVocabularyCovered(t *testing.T) {
+	valid := map[string]bool{}
+	for _, w := range FunctionWords() {
+		valid[w] = true
+	}
+	g := gen(t, 12, Options{})
+	for trial := 0; trial < 50; trial++ {
+		s := g.RandomUtterance(2)
+		for i, tok := range s.Tokens {
+			if s.Labels[i] == tokenize.O && !valid[tok] {
+				t.Fatalf("utterance O-token %q missing from FunctionWords", tok)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package corpus
+
+import "math/rand"
+
+// The general corpus plays the role of Wikipedia in BERT's pre-training
+// (§4.2): generic subject–verb–object text with none of the review domain's
+// aspect/opinion jargon. MiniBERT is first pre-trained here, then
+// post-trained on domain reviews — reproducing why vanilla BERT misses
+// "a killer" and "la carte" and why domain post-training helps.
+
+var generalSubjects = []string{
+	"the city", "the river", "the museum", "a committee", "the library",
+	"the treaty", "the mountain", "the election", "an engineer", "the bridge",
+	"the university", "a journalist", "the festival", "the company", "the law",
+	"the researcher", "the village", "the empire", "the parliament", "the orchestra",
+}
+
+var generalVerbs = []string{
+	"was founded in", "borders", "published", "organized", "approved",
+	"connects", "describes", "hosted", "elected", "measured", "funded",
+	"documented", "surveyed", "rebuilt", "translated", "archived",
+}
+
+var generalObjects = []string{
+	"the northern district", "a historic charter", "several reports",
+	"the annual summit", "two provinces", "an early manuscript",
+	"the coastal region", "a research council", "new regulations",
+	"the railway line", "three expeditions", "a public archive",
+	"the eastern valley", "an international standard", "the old quarter",
+}
+
+var generalModifiers = []string{
+	"in 1887", "during the war", "after the merger", "for two decades",
+	"under the new charter", "across the region", "with public funding",
+	"despite objections", "before the reform", "in the early period",
+}
+
+// GeneralSentence emits one generic non-review sentence as tokens.
+func GeneralSentence(rng *rand.Rand) []string {
+	toks := fields(pick(rng, generalSubjects))
+	toks = append(toks, fields(pick(rng, generalVerbs))...)
+	toks = append(toks, fields(pick(rng, generalObjects))...)
+	if rng.Intn(2) == 0 {
+		toks = append(toks, fields(pick(rng, generalModifiers))...)
+	}
+	return append(toks, ".")
+}
+
+// GeneralCorpus emits n generic sentences for MLM pre-training.
+func GeneralCorpus(rng *rand.Rand, n int) [][]string {
+	out := make([][]string, n)
+	for i := range out {
+		out[i] = GeneralSentence(rng)
+	}
+	return out
+}
+
+// GeneralVocabulary returns every word the general grammar can emit.
+func GeneralVocabulary() []string {
+	var out []string
+	for _, pool := range [][]string{generalSubjects, generalVerbs, generalObjects, generalModifiers} {
+		for _, phrase := range pool {
+			out = append(out, fields(phrase)...)
+		}
+	}
+	out = append(out, ".")
+	return dedupStrings(out)
+}
+
+func fields(s string) []string {
+	var out []string
+	start := -1
+	for i, r := range s {
+		if r == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func dedupStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGeneralSentence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		toks := GeneralSentence(rng)
+		if len(toks) < 4 {
+			t.Fatalf("too short: %v", toks)
+		}
+		if toks[len(toks)-1] != "." {
+			t.Fatalf("must end with period: %v", toks)
+		}
+		for _, tok := range toks {
+			if tok == "" || strings.Contains(tok, " ") {
+				t.Fatalf("bad token %q", tok)
+			}
+		}
+	}
+}
+
+func TestGeneralCorpusSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := GeneralCorpus(rng, 25)
+	if len(c) != 25 {
+		t.Fatalf("got %d sentences", len(c))
+	}
+}
+
+func TestGeneralVocabularyCoversSentences(t *testing.T) {
+	vocab := map[string]bool{}
+	for _, w := range GeneralVocabulary() {
+		vocab[w] = true
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		for _, tok := range GeneralSentence(rng) {
+			if !vocab[tok] {
+				t.Fatalf("token %q not in GeneralVocabulary", tok)
+			}
+		}
+	}
+}
+
+func TestGeneralVocabularyDisjointFromDomainJargon(t *testing.T) {
+	// The point of the general corpus is that it lacks review jargon, so
+	// domain post-training has something to add (§4.2).
+	vocab := map[string]bool{}
+	for _, w := range GeneralVocabulary() {
+		vocab[w] = true
+	}
+	for _, jargon := range []string{"delicious", "killer", "carte", "romantic"} {
+		if vocab[jargon] {
+			t.Fatalf("general corpus must not contain domain jargon %q", jargon)
+		}
+	}
+}

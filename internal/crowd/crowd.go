@@ -1,0 +1,190 @@
+// Package crowd simulates the Yandex Toloka crowdsourcing of §6.2 that
+// produced the paper's Table 2 ground truth: for every (subjective tag,
+// review) pair, three simulated workers judge the review's relevance to the
+// tag on the four-level scale {0, 1/3, 2/3, 1}; the majority vote is kept,
+// and sat(tag, entity) is the mean over the entity's reviews. Workers
+// observe the generator's gold mention structure through per-worker noise,
+// reproducing the label-quality caveats the paper discusses.
+package crowd
+
+import (
+	"math/rand"
+	"sort"
+
+	"saccs/internal/lexicon"
+	"saccs/internal/yelp"
+)
+
+// Levels is the §6.2 relevance scale.
+var Levels = []float64{0, 1.0 / 3, 2.0 / 3, 1}
+
+// Config tunes the simulation.
+type Config struct {
+	// Workers per (tag, review) pair (paper: 3).
+	Workers int
+	// NoiseProb is the chance a worker reports an adjacent level instead of
+	// the true one.
+	NoiseProb float64
+	// Seed drives worker randomness.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{Workers: 3, NoiseProb: 0.15, Seed: 99}
+}
+
+// Truth holds crowd-aggregated sat scores: Sat[tagName][entityID] ∈ [0,1].
+type Truth struct {
+	Sat map[string]map[string]float64
+}
+
+// Gains returns the per-entity mean sat over the query's tags — the gain
+// function of Eq. 10.
+func (t *Truth) Gains(tags []string, entityIDs []string) map[string]float64 {
+	out := make(map[string]float64, len(entityIDs))
+	for _, e := range entityIDs {
+		var sum float64
+		for _, tag := range tags {
+			if m, ok := t.Sat[tag]; ok {
+				sum += m[e]
+			}
+		}
+		if len(tags) > 0 {
+			sum /= float64(len(tags))
+		}
+		out[e] = sum
+	}
+	return out
+}
+
+// GroundTruth runs the simulated crowdsourcing over every (feature tag,
+// entity) pair in the world. Tags are the canonical feature names
+// ("delicious food", "nice staff", ...), mirroring the 18 tags of §6.2.
+func GroundTruth(w *yelp.World, cfg Config) *Truth {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tax := lexicon.DefaultTaxonomy()
+	truth := &Truth{Sat: map[string]map[string]float64{}}
+	for _, f := range w.Domain.Features {
+		m := make(map[string]float64, len(w.Entities))
+		for _, e := range w.Entities {
+			var sum float64
+			for _, r := range e.Reviews {
+				trueLevel := reviewRelevance(w.Domain, tax, r, f)
+				sum += majorityVote(rng, cfg, trueLevel)
+			}
+			if len(e.Reviews) > 0 {
+				m[e.ID] = sum / float64(len(e.Reviews))
+			}
+		}
+		truth.Sat[f.Name] = m
+	}
+	return truth
+}
+
+// reviewRelevance computes the level an ideal worker would assign: a
+// positive mention of the tag's feature is perfect relevance (1); a negative
+// mention of the same feature is strong *inverse* evidence (0); a positive
+// mention of a conceptually related feature (shared coarse category, e.g.
+// slow service vs terrible service) is weak relevance (1/3). The maximum
+// over mentions wins, as a worker reports the strongest signal they saw.
+func reviewRelevance(domain *lexicon.Domain, tax *lexicon.Taxonomy, r *yelp.Review, f lexicon.Feature) float64 {
+	best := 0.0
+	for _, s := range r.Sentences {
+		for _, m := range s.Mentions {
+			var level float64
+			switch {
+			case m.FeatureID == f.ID && m.Positive:
+				level = 1
+			case m.FeatureID == f.ID:
+				level = 0
+			case m.Positive && related(domain, tax, m.FeatureID, f):
+				level = 1.0 / 3
+			}
+			if level > best {
+				best = level
+			}
+		}
+	}
+	return best
+}
+
+// coarseCategories are the top-level aspect groups; sharing only one of
+// these is not enough to make two features related.
+var coarseCategories = map[string]bool{
+	"offering": true, "people": true, "place": true, "value": true,
+	"facility": true, "hardware": true, "entity-quality": true,
+}
+
+// related reports whether two features concern the same concrete aspect
+// concept — the paper's example relates "slow service" to "terrible service"
+// (same aspect, different opinions), not service to food.
+func related(domain *lexicon.Domain, tax *lexicon.Taxonomy, otherID int, f lexicon.Feature) bool {
+	if otherID < 0 || otherID >= len(domain.Features) {
+		return false
+	}
+	other := domain.Features[otherID]
+	lca := tax.LCA(other.Aspect, f.Aspect)
+	return lca != "" && !coarseCategories[lca]
+}
+
+// majorityVote simulates cfg.Workers noisy workers judging trueLevel and
+// aggregates by majority, breaking ties toward the lower level (the
+// conservative reading).
+func majorityVote(rng *rand.Rand, cfg Config, trueLevel float64) float64 {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	votes := map[float64]int{}
+	for w := 0; w < workers; w++ {
+		votes[workerJudgment(rng, cfg.NoiseProb, trueLevel)]++
+	}
+	type kv struct {
+		level float64
+		n     int
+	}
+	var counts []kv
+	for l, n := range votes {
+		counts = append(counts, kv{l, n})
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].n != counts[j].n {
+			return counts[i].n > counts[j].n
+		}
+		return counts[i].level < counts[j].level
+	})
+	return counts[0].level
+}
+
+// workerJudgment reports the true level, or with NoiseProb an adjacent one.
+func workerJudgment(rng *rand.Rand, noise float64, trueLevel float64) float64 {
+	idx := levelIndex(trueLevel)
+	if rng.Float64() >= noise {
+		return Levels[idx]
+	}
+	if idx == 0 {
+		return Levels[1]
+	}
+	if idx == len(Levels)-1 {
+		return Levels[len(Levels)-2]
+	}
+	if rng.Intn(2) == 0 {
+		return Levels[idx-1]
+	}
+	return Levels[idx+1]
+}
+
+func levelIndex(level float64) int {
+	best, bi := 2.0, 0
+	for i, l := range Levels {
+		d := level - l
+		if d < 0 {
+			d = -d
+		}
+		if d < best {
+			best, bi = d, i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,146 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"saccs/internal/yelp"
+)
+
+func TestLevelsScale(t *testing.T) {
+	if len(Levels) != 4 {
+		t.Fatal("§6.2 uses a four-level scale")
+	}
+	want := []float64{0, 1.0 / 3, 2.0 / 3, 1}
+	for i, l := range Levels {
+		if math.Abs(l-want[i]) > 1e-12 {
+			t.Fatalf("level %d = %v", i, l)
+		}
+	}
+}
+
+func TestWorkerJudgmentNoNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, l := range Levels {
+		for trial := 0; trial < 10; trial++ {
+			if got := workerJudgment(rng, 0, l); got != l {
+				t.Fatalf("noise-free worker must report truth: %v -> %v", l, got)
+			}
+		}
+	}
+}
+
+func TestWorkerJudgmentNoiseAdjacent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		got := workerJudgment(rng, 1, 1.0/3)
+		if got != 0 && math.Abs(got-2.0/3) > 1e-12 {
+			t.Fatalf("noisy judgment must be adjacent: %v", got)
+		}
+	}
+	// Boundary levels can only move inward.
+	for trial := 0; trial < 50; trial++ {
+		if got := workerJudgment(rng, 1, 0); math.Abs(got-1.0/3) > 1e-12 {
+			t.Fatalf("level 0 must move to 1/3: %v", got)
+		}
+		if got := workerJudgment(rng, 1, 1); math.Abs(got-2.0/3) > 1e-12 {
+			t.Fatalf("level 1 must move to 2/3: %v", got)
+		}
+	}
+}
+
+func TestMajorityVoteRecoversTruthAtLowNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := Config{Workers: 3, NoiseProb: 0.1}
+	agree := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		if majorityVote(rng, cfg, 2.0/3) == 2.0/3 {
+			agree++
+		}
+	}
+	if float64(agree)/trials < 0.85 {
+		t.Fatalf("majority vote too noisy: %d/%d", agree, trials)
+	}
+}
+
+func TestGroundTruthTracksLatentQuality(t *testing.T) {
+	w := yelp.Generate(yelp.FastConfig())
+	truth := GroundTruth(w, DefaultConfig())
+	// For the "delicious food" tag, entities with high latent food quality
+	// must on average receive higher sat than entities with low quality.
+	tag := w.Domain.Features[0].Name
+	sat := truth.Sat[tag]
+	if len(sat) == 0 {
+		t.Fatal("no sat scores")
+	}
+	var hi, lo []float64
+	for _, e := range w.Entities {
+		s, ok := sat[e.ID]
+		if !ok {
+			continue
+		}
+		if e.Quality[0] > 0.65 {
+			hi = append(hi, s)
+		} else if e.Quality[0] < 0.35 {
+			lo = append(lo, s)
+		}
+	}
+	if len(hi) == 0 || len(lo) == 0 {
+		t.Skip("degenerate world sample")
+	}
+	if mean(hi) <= mean(lo) {
+		t.Fatalf("sat does not track latent quality: hi=%v lo=%v", mean(hi), mean(lo))
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestGroundTruthAllTagsAllEntities(t *testing.T) {
+	w := yelp.Generate(yelp.FastConfig())
+	truth := GroundTruth(w, DefaultConfig())
+	if len(truth.Sat) != len(w.Domain.Features) {
+		t.Fatalf("tags covered: %d", len(truth.Sat))
+	}
+	for tag, m := range truth.Sat {
+		for id, s := range m {
+			if s < 0 || s > 1 {
+				t.Fatalf("sat out of range for %s/%s: %v", tag, id, s)
+			}
+		}
+	}
+}
+
+func TestGainsMeanOverTags(t *testing.T) {
+	truth := &Truth{Sat: map[string]map[string]float64{
+		"t1": {"e1": 1, "e2": 0},
+		"t2": {"e1": 0.5, "e2": 0.5},
+	}}
+	g := truth.Gains([]string{"t1", "t2"}, []string{"e1", "e2"})
+	if math.Abs(g["e1"]-0.75) > 1e-12 || math.Abs(g["e2"]-0.25) > 1e-12 {
+		t.Fatalf("gains: %v", g)
+	}
+	if g2 := truth.Gains(nil, []string{"e1"}); len(g2) != 1 || g2["e1"] != 0 {
+		t.Fatalf("empty tag list: %v", g2)
+	}
+}
+
+func TestGroundTruthDeterministic(t *testing.T) {
+	w := yelp.Generate(yelp.FastConfig())
+	a := GroundTruth(w, DefaultConfig())
+	b := GroundTruth(w, DefaultConfig())
+	for tag, m := range a.Sat {
+		for id, s := range m {
+			if b.Sat[tag][id] != s {
+				t.Fatal("non-deterministic ground truth")
+			}
+		}
+	}
+}

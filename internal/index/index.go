@@ -1,0 +1,243 @@
+// Package index implements the subjective tag inverted index of §3.1
+// (Table 1, Fig. 1): each subjective tag maps to the entities whose reviews
+// mention it, with a degree of truth computed by Eq. 1:
+//
+//	Deg_truth(tag, e) = log(|Re|+1) / |T_e^tag| · Σ_{t ∈ T_e^tag} Sim(tag, t)
+//
+// where Re is e's review set and T_e^tag the review tags whose similarity to
+// tag exceeds θ_index. Unknown query tags are answered by combining similar
+// index tags (§3.2) and queued in the user tag history for the next indexing
+// round — the adaptive loop of Fig. 1.
+package index
+
+import (
+	"math"
+	"sort"
+
+	"saccs/internal/sim"
+)
+
+// ContradictionAware is an optional similarity capability: Base returns the
+// polarity-blind similarity plus whether the phrases' polarities conflict.
+// sim.Conceptual implements it.
+type ContradictionAware interface {
+	Base(a, b string) (float64, bool)
+}
+
+// Entry is one entity under a tag with its degree of truth.
+type Entry struct {
+	EntityID string
+	Degree   float64
+}
+
+// EntityReviews is the per-entity input to indexing: how many reviews the
+// entity has and every subjective tag the extractor pulled from them.
+type EntityReviews struct {
+	EntityID    string
+	ReviewCount int
+	Tags        []string
+}
+
+// Index is the subjective tag inverted index.
+type Index struct {
+	measure    sim.Measure
+	thetaIndex float64
+	// reviewWeight applies Eq. 1's log(|Re|+1) factor; disabling it is the
+	// ablation of the review-count weighting design choice.
+	reviewWeight bool
+	// frequencyAware scales degrees by the square root of the matched
+	// mention rate (mentions per review).
+	frequencyAware bool
+	// tags maps an index tag to its posting list, sorted by degree desc.
+	tags map[string][]Entry
+	// order preserves insertion order for deterministic iteration.
+	order []string
+}
+
+// New returns an empty index using the given similarity measure and
+// θ_index threshold for review-tag matching. Eq. 1's review-count weighting
+// is on by default.
+func New(measure sim.Measure, thetaIndex float64) *Index {
+	return &Index{measure: measure, thetaIndex: thetaIndex, reviewWeight: true, frequencyAware: true, tags: map[string][]Entry{}}
+}
+
+// SetReviewWeighting toggles Eq. 1's log(|Re|+1) factor (ablation knob).
+// It affects subsequent AddTag calls only.
+func (ix *Index) SetReviewWeighting(on bool) { ix.reviewWeight = on }
+
+// SetFrequencyAware toggles the mention-rate factor (ablation knob).
+func (ix *Index) SetFrequencyAware(on bool) { ix.frequencyAware = on }
+
+// Has reports whether tag is an index key (§3.2's "t ∈ index.keys").
+func (ix *Index) Has(tag string) bool {
+	_, ok := ix.tags[tag]
+	return ok
+}
+
+// Tags returns the index keys in insertion order.
+func (ix *Index) Tags() []string { return append([]string(nil), ix.order...) }
+
+// Len returns the number of indexed tags.
+func (ix *Index) Len() int { return len(ix.order) }
+
+// AddTag runs one indexing round for a single tag (Fig. 1's indexer): every
+// entity whose review tags include a mention similar enough to the tag is
+// added with its Eq. 1 degree of truth. Re-adding a tag recomputes its
+// posting list.
+func (ix *Index) AddTag(tag string, entities []EntityReviews) {
+	var entries []Entry
+	for _, e := range entities {
+		deg, matched := ix.degreeOfTruth(tag, e)
+		if matched == 0 {
+			continue
+		}
+		entries = append(entries, Entry{EntityID: e.EntityID, Degree: deg})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Degree != entries[j].Degree {
+			return entries[i].Degree > entries[j].Degree
+		}
+		return entries[i].EntityID < entries[j].EntityID
+	})
+	if _, exists := ix.tags[tag]; !exists {
+		ix.order = append(ix.order, tag)
+	}
+	ix.tags[tag] = entries
+}
+
+// Build indexes a whole tag set in one pass.
+func (ix *Index) Build(tags []string, entities []EntityReviews) {
+	for _, t := range tags {
+		ix.AddTag(t, entities)
+	}
+}
+
+// degreeOfTruth computes Eq. 1 for (tag, entity): the mean similarity of the
+// entity's matching review tags, weighted by log(|Re|+1). When the measure
+// is contradiction-aware, review tags that contradict the query tag (same
+// concept, opposite polarity — "bland food" against "delicious food") scale
+// the degree by the support ratio matched/(matched+contradicted): certainty
+// about a tag drops when reviews disagree. The second return is |T_e^tag|.
+func (ix *Index) degreeOfTruth(tag string, e EntityReviews) (float64, int) {
+	ca, aware := ix.measure.(ContradictionAware)
+	var sum float64
+	matched := 0
+	contradicted := 0
+	for _, t := range e.Tags {
+		if aware {
+			base, conflict := ca.Base(tag, t)
+			if base <= ix.thetaIndex {
+				continue
+			}
+			if conflict {
+				contradicted++
+				continue
+			}
+			sum += base
+			matched++
+			continue
+		}
+		s := ix.measure.Phrase(tag, t)
+		if s > ix.thetaIndex {
+			sum += s
+			matched++
+		}
+	}
+	if matched == 0 {
+		return 0, 0
+	}
+	weight := 1.0
+	if ix.reviewWeight {
+		weight = math.Log(float64(e.ReviewCount) + 1)
+	}
+	deg := weight / float64(matched) * sum
+	if aware && contradicted > 0 {
+		deg *= float64(matched) / float64(matched+contradicted)
+	}
+	if ix.frequencyAware && e.ReviewCount > 0 {
+		// Mention-rate factor: a tag confirmed by most reviews is more
+		// certain than one confirmed once. The square root keeps Eq. 1's
+		// mean-similarity character dominant (see DESIGN.md §4 ablations).
+		rate := float64(matched) / float64(e.ReviewCount)
+		if rate > 1 {
+			rate = 1
+		}
+		deg *= math.Sqrt(rate)
+	}
+	return deg, matched
+}
+
+// Lookup returns the posting list for an exact index tag (copy).
+func (ix *Index) Lookup(tag string) []Entry {
+	return append([]Entry(nil), ix.tags[tag]...)
+}
+
+// LookupSimilar answers an unknown tag per §3.2: the union of the posting
+// lists of every index tag whose similarity to the query tag exceeds
+// θ_filter, with degrees multiplied by that similarity and summed across
+// contributing tags (the S_t2 construction).
+func (ix *Index) LookupSimilar(tag string, thetaFilter float64) []Entry {
+	acc := map[string]float64{}
+	for _, key := range ix.order {
+		s := ix.measure.Phrase(tag, key)
+		if s <= thetaFilter {
+			continue
+		}
+		for _, entry := range ix.tags[key] {
+			acc[entry.EntityID] += s * entry.Degree
+		}
+	}
+	entries := make([]Entry, 0, len(acc))
+	for id, deg := range acc {
+		entries = append(entries, Entry{EntityID: id, Degree: deg})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Degree != entries[j].Degree {
+			return entries[i].Degree > entries[j].Degree
+		}
+		return entries[i].EntityID < entries[j].EntityID
+	})
+	return entries
+}
+
+// Resolve implements the probing rule of Algorithm 1 lines 7–10: exact hit
+// when the tag is indexed, otherwise the similar-tag union.
+func (ix *Index) Resolve(tag string, thetaFilter float64) []Entry {
+	if ix.Has(tag) {
+		return ix.Lookup(tag)
+	}
+	return ix.LookupSimilar(tag, thetaFilter)
+}
+
+// History is the user tag history of §3.1: unknown tags extracted from user
+// utterances queue here until the next indexing round.
+type History struct {
+	pending []string
+	seen    map[string]bool
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{seen: map[string]bool{}} }
+
+// Add queues a tag once; duplicates are ignored.
+func (h *History) Add(tag string) {
+	if tag == "" || h.seen[tag] {
+		return
+	}
+	h.seen[tag] = true
+	h.pending = append(h.pending, tag)
+}
+
+// Pending returns queued tags in arrival order.
+func (h *History) Pending() []string { return append([]string(nil), h.pending...) }
+
+// Drain returns and clears the queue (the seen-set persists so a drained
+// tag is not re-queued).
+func (h *History) Drain() []string {
+	out := h.pending
+	h.pending = nil
+	return out
+}
+
+// Len returns the number of queued tags.
+func (h *History) Len() int { return len(h.pending) }

@@ -1,0 +1,62 @@
+package index
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is the serializable form of an index: tag → posting list. The
+// similarity measure and thresholds are configuration, not state, so they
+// are not persisted; load into an Index constructed with the same measure.
+type Snapshot struct {
+	// Version guards the wire format.
+	Version int `json:"version"`
+	// ThetaIndex records the threshold the postings were computed with
+	// (informational; loading does not override the target's threshold).
+	ThetaIndex float64 `json:"theta_index"`
+	// Tags preserves insertion order.
+	Tags []TagPostings `json:"tags"`
+}
+
+// TagPostings is one tag's posting list.
+type TagPostings struct {
+	Tag     string  `json:"tag"`
+	Entries []Entry `json:"entries"`
+}
+
+// snapshotVersion is the current wire format version.
+const snapshotVersion = 1
+
+// Save writes the index as JSON.
+func (ix *Index) Save(w io.Writer) error {
+	snap := Snapshot{Version: snapshotVersion, ThetaIndex: ix.thetaIndex}
+	for _, tag := range ix.order {
+		snap.Tags = append(snap.Tags, TagPostings{Tag: tag, Entries: ix.tags[tag]})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Load replaces the index's postings with a previously saved snapshot.
+// The receiver keeps its similarity measure and thresholds.
+func (ix *Index) Load(r io.Reader) error {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("index: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("index: unsupported snapshot version %d", snap.Version)
+	}
+	ix.tags = make(map[string][]Entry, len(snap.Tags))
+	ix.order = ix.order[:0]
+	for _, tp := range snap.Tags {
+		if _, dup := ix.tags[tp.Tag]; dup {
+			return fmt.Errorf("index: duplicate tag %q in snapshot", tp.Tag)
+		}
+		ix.tags[tp.Tag] = tp.Entries
+		ix.order = append(ix.order, tp.Tag)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package lexicon
+
+// Electronics returns the laptop/electronics domain backing the synthetic S2
+// dataset (SemEval-14 Electronics in Table 3). Following §6.3, it is heavy on
+// brand names and numeric references — the terms whose meaning flips under
+// large adversarial perturbations and makes ε=1.0 underperform on S2.
+func Electronics() *Domain {
+	return &Domain{
+		Name: "electronics",
+		Features: []Feature{
+			{
+				ID: 0, Name: "sharp screen", Aspect: "screen", Opinion: "sharp",
+				AspectSyns: []string{"screen", "display", "panel", "retina display", "lcd"},
+				PosOps:     []string{"sharp", "crisp", "vivid", "bright", "gorgeous"},
+				NegOps:     []string{"dim", "washed out", "grainy", "blurry"},
+			},
+			{
+				ID: 1, Name: "long battery life", Aspect: "battery", Opinion: "long lasting",
+				AspectSyns: []string{"battery", "battery life", "charge", "power cell"},
+				PosOps:     []string{"long lasting", "enduring", "reliable", "excellent", "impressive"},
+				NegOps:     []string{"short", "weak", "terrible", "draining"},
+			},
+			{
+				ID: 2, Name: "comfortable keyboard", Aspect: "keyboard", Opinion: "comfortable",
+				AspectSyns: []string{"keyboard", "keys", "trackpad", "touchpad"},
+				PosOps:     []string{"comfortable", "responsive", "tactile", "snappy", "pleasant"},
+				NegOps:     []string{"mushy", "stiff", "cramped", "unresponsive"},
+			},
+			{
+				ID: 3, Name: "fast processor", Aspect: "processor", Opinion: "fast",
+				AspectSyns: []string{"processor", "cpu", "chip", "i7", "ryzen 7", "m2 chip"},
+				PosOps:     []string{"fast", "blazing", "powerful", "speedy", "snappy"},
+				NegOps:     []string{"slow", "laggy", "underpowered", "sluggish"},
+			},
+			{
+				ID: 4, Name: "light build", Aspect: "build", Opinion: "light",
+				AspectSyns: []string{"build", "chassis", "body", "case", "design"},
+				PosOps:     []string{"light", "sturdy", "premium", "solid", "sleek"},
+				NegOps:     []string{"heavy", "flimsy", "plasticky", "bulky"},
+			},
+			{
+				ID: 5, Name: "quiet fans", Aspect: "fans", Opinion: "quiet",
+				AspectSyns: []string{"fans", "cooling", "thermals", "fan noise"},
+				PosOps:     []string{"quiet", "silent", "inaudible", "well tuned"},
+				NegOps:     []string{"loud", "whiny", "noisy", "annoying"},
+			},
+			{
+				ID: 6, Name: "good speakers", Aspect: "speakers", Opinion: "good",
+				AspectSyns: []string{"speakers", "audio", "sound", "sound quality"},
+				PosOps:     []string{"good", "rich", "clear", "loud", "punchy"},
+				NegOps:     []string{"tinny", "muffled", "weak", "distorted"},
+			},
+			{
+				ID: 7, Name: "helpful support", Aspect: "support", Opinion: "helpful",
+				AspectSyns: []string{"support", "customer service", "warranty", "helpline"},
+				PosOps:     []string{"helpful", "responsive", "courteous", "competent"},
+				NegOps:     []string{"useless", "slow", "dismissive", "hopeless"},
+			},
+			{
+				ID: 8, Name: "fair price", Aspect: "price", Opinion: "fair",
+				AspectSyns: []string{"price", "price tag", "cost", "value", "msrp"},
+				PosOps:     []string{"fair", "reasonable", "unbeatable", "competitive", "great"},
+				NegOps:     []string{"steep", "absurd", "overpriced", "inflated"},
+			},
+			{
+				ID: 9, Name: "many ports", Aspect: "ports", Opinion: "plentiful",
+				AspectSyns: []string{"ports", "usb ports", "hdmi port", "connectivity", "slots"},
+				PosOps:     []string{"plentiful", "versatile", "generous", "abundant"},
+				NegOps:     []string{"scarce", "missing", "few", "lacking"},
+			},
+			{
+				ID: 10, Name: "stable software", Aspect: "software", Opinion: "stable",
+				AspectSyns: []string{"software", "drivers", "firmware", "os", "windows 11"},
+				PosOps:     []string{"stable", "polished", "smooth", "bug free", "reliable"},
+				NegOps:     []string{"buggy", "crashy", "bloated", "unstable"},
+			},
+			{
+				ID: 11, Name: "crisp webcam", Aspect: "webcam", Opinion: "crisp",
+				AspectSyns: []string{"webcam", "camera", "1080p camera", "video quality"},
+				PosOps:     []string{"crisp", "clear", "sharp", "decent"},
+				NegOps:     []string{"grainy", "potato quality", "dark", "fuzzy"},
+			},
+		},
+		Fillers: []string{
+			"out of the box", "after a week", "for the price", "under load",
+			"during video calls", "on battery", "for gaming", "at 4k", "so far",
+		},
+		Entities: []string{
+			"ThinkPad X9", "MacBook Air", "Zephyrus G14", "XPS 13", "Pavilion 15",
+			"IdeaPad Slim", "Surface Laptop", "Swift 3", "Vivobook Pro", "Gram 17",
+		},
+	}
+}

@@ -1,0 +1,81 @@
+package lexicon
+
+// Hotels returns the hotel domain backing the synthetic S4 dataset
+// (the Booking.com corpus of Table 3, created by OpineDB [31]) and the
+// training domain of the paper's pairing experiment (§6.4 trains the
+// discriminative pairing model on the hotels dataset).
+func Hotels() *Domain {
+	return &Domain{
+		Name: "hotels",
+		Features: []Feature{
+			{
+				ID: 0, Name: "clean rooms", Aspect: "rooms", Opinion: "clean",
+				AspectSyns: []string{"rooms", "room", "suite", "bathroom", "linens"},
+				PosOps:     []string{"clean", "spotless", "immaculate", "fresh", "tidy"},
+				NegOps:     []string{"dirty", "musty", "dusty", "grimy"},
+			},
+			{
+				ID: 1, Name: "comfortable beds", Aspect: "beds", Opinion: "comfortable",
+				AspectSyns: []string{"beds", "bed", "mattress", "pillows", "bedding"},
+				PosOps:     []string{"comfortable", "plush", "heavenly", "soft", "cozy"},
+				NegOps:     []string{"lumpy", "hard", "creaky", "saggy"},
+			},
+			{
+				ID: 2, Name: "great location", Aspect: "location", Opinion: "great",
+				AspectSyns: []string{"location", "neighborhood", "area", "spot", "surroundings"},
+				PosOps:     []string{"great", "central", "convenient", "perfect", "unbeatable"},
+				NegOps:     []string{"remote", "sketchy", "inconvenient", "noisy"},
+			},
+			{
+				ID: 3, Name: "friendly reception", Aspect: "reception", Opinion: "friendly",
+				AspectSyns: []string{"reception", "front desk", "concierge", "staff", "receptionist"},
+				PosOps:     []string{"friendly", "welcoming", "helpful", "courteous", "kind"},
+				NegOps:     []string{"rude", "indifferent", "brusque", "unhelpful"},
+			},
+			{
+				ID: 4, Name: "tasty breakfast", Aspect: "breakfast", Opinion: "tasty",
+				AspectSyns: []string{"breakfast", "buffet", "morning spread", "brunch"},
+				PosOps:     []string{"tasty", "delicious", "varied", "generous", "fresh"},
+				NegOps:     []string{"stale", "bland", "meager", "cold"},
+			},
+			{
+				ID: 5, Name: "quiet floors", Aspect: "floors", Opinion: "quiet",
+				AspectSyns: []string{"floors", "hallways", "walls", "soundproofing"},
+				PosOps:     []string{"quiet", "peaceful", "silent", "calm"},
+				NegOps:     []string{"thin", "noisy", "loud", "echoing"},
+			},
+			{
+				ID: 6, Name: "fast wifi", Aspect: "wifi", Opinion: "fast",
+				AspectSyns: []string{"wifi", "internet", "connection", "wi fi"},
+				PosOps:     []string{"fast", "reliable", "stable", "speedy", "free"},
+				NegOps:     []string{"spotty", "slow", "unusable", "patchy"},
+			},
+			{
+				ID: 7, Name: "nice pool", Aspect: "pool", Opinion: "nice",
+				AspectSyns: []string{"pool", "spa", "sauna", "gym", "rooftop pool"},
+				PosOps:     []string{"nice", "refreshing", "heated", "lovely", "stunning"},
+				NegOps:     []string{"crowded", "cold", "closed", "tiny"},
+			},
+			{
+				ID: 8, Name: "fair rates", Aspect: "rates", Opinion: "fair",
+				AspectSyns: []string{"rates", "price", "nightly rate", "cost", "bill"},
+				PosOps:     []string{"fair", "reasonable", "affordable", "honest"},
+				NegOps:     []string{"inflated", "outrageous", "steep", "hidden"},
+			},
+			{
+				ID: 9, Name: "good view", Aspect: "view", Opinion: "good",
+				AspectSyns: []string{"view", "vista", "balcony view", "window view"},
+				PosOps:     []string{"good", "breathtaking", "panoramic", "amazing"},
+				NegOps:     []string{"bleak", "blocked", "disappointing"},
+			},
+		},
+		Fillers: []string{
+			"during our stay", "for the weekend", "on arrival", "at checkout",
+			"on the top floor", "for a business trip", "with kids", "in july",
+		},
+		Entities: []string{
+			"Grand Palace", "Hotel Lumière", "The Wanderer", "Bayview Inn",
+			"Alpine Lodge", "Casa Azul", "Ritz Garden", "Harbor House",
+		},
+	}
+}

@@ -1,0 +1,132 @@
+package lexicon
+
+// Restaurants returns the restaurant domain: the 18 subjective features the
+// paper takes from Moura & Souki [39] for its Table 2 evaluation ("delicious
+// food", "creative cooking", "varied menu", "romantic ambiance", ...), with
+// the surface variants — including the domain idioms of §4.2 ("a killer",
+// "la carte") — that the tagger must learn.
+func Restaurants() *Domain {
+	return &Domain{
+		Name: "restaurants",
+		Features: []Feature{
+			{
+				ID: 0, Name: "delicious food", Aspect: "food", Opinion: "delicious",
+				AspectSyns: []string{"food", "dishes", "plates of food", "meal", "cooking", "pizza", "pasta", "la carte"},
+				PosOps:     []string{"delicious", "tasty", "really good", "phenomenal", "amazing", "flavorful", "a killer"},
+				NegOps:     []string{"bland", "tasteless", "mediocre", "disappointing"},
+			},
+			{
+				ID: 1, Name: "creative cooking", Aspect: "cooking", Opinion: "creative",
+				AspectSyns: []string{"cooking", "cuisine", "recipes", "culinary style", "kitchen"},
+				PosOps:     []string{"creative", "inventive", "original", "imaginative", "innovative"},
+				NegOps:     []string{"unoriginal", "boring", "predictable"},
+			},
+			{
+				ID: 2, Name: "varied menu", Aspect: "menu", Opinion: "varied",
+				AspectSyns: []string{"menu", "selection", "choices", "offerings", "la carte"},
+				PosOps:     []string{"varied", "extensive", "diverse", "wide", "rich"},
+				NegOps:     []string{"limited", "narrow", "short", "meager"},
+			},
+			{
+				ID: 3, Name: "romantic ambiance", Aspect: "ambiance", Opinion: "romantic",
+				AspectSyns: []string{"ambiance", "atmosphere", "mood", "setting", "vibe"},
+				PosOps:     []string{"romantic", "intimate", "charming", "dreamy", "candlelit"},
+				NegOps:     []string{"sterile", "cold", "unromantic"},
+			},
+			{
+				ID: 4, Name: "nice staff", Aspect: "staff", Opinion: "nice",
+				AspectSyns: []string{"staff", "waiters", "waitstaff", "servers", "personnel", "crew"},
+				PosOps:     []string{"nice", "friendly", "helpful", "professional", "welcoming", "attentive"},
+				NegOps:     []string{"rude", "unhelpful", "dismissive", "cold"},
+			},
+			{
+				ID: 5, Name: "quick service", Aspect: "service", Opinion: "quick",
+				AspectSyns: []string{"service", "wait times", "turnaround"},
+				PosOps:     []string{"quick", "fast", "prompt", "speedy", "efficient", "swift"},
+				NegOps:     []string{"slow", "sluggish", "a bit slow", "terrible"},
+			},
+			{
+				ID: 6, Name: "clean plates", Aspect: "plates", Opinion: "clean",
+				AspectSyns: []string{"plates", "cutlery", "glasses", "tableware", "silverware"},
+				PosOps:     []string{"clean", "spotless", "immaculate", "pristine", "shiny"},
+				NegOps:     []string{"dirty", "greasy", "smudged", "stained"},
+			},
+			{
+				ID: 7, Name: "fair prices", Aspect: "prices", Opinion: "fair",
+				AspectSyns: []string{"prices", "bill", "cost", "pricing", "check"},
+				PosOps:     []string{"fair", "reasonable", "affordable", "honest", "decent"},
+				NegOps:     []string{"steep", "inflated", "outrageous", "overpriced"},
+			},
+			{
+				ID: 8, Name: "good view", Aspect: "view", Opinion: "good",
+				AspectSyns: []string{"view", "scenery", "panorama", "outlook", "terrace view"},
+				PosOps:     []string{"good", "stunning", "breathtaking", "lovely", "gorgeous"},
+				NegOps:     []string{"bleak", "dull", "obstructed"},
+			},
+			{
+				ID: 9, Name: "quiet atmosphere", Aspect: "atmosphere", Opinion: "quiet",
+				AspectSyns: []string{"atmosphere", "noise level", "acoustics", "ambiance"},
+				PosOps:     []string{"quiet", "calm", "peaceful", "relaxed", "serene", "superb"},
+				NegOps:     []string{"noisy", "loud", "deafening", "chaotic"},
+			},
+			{
+				ID: 10, Name: "fresh ingredients", Aspect: "ingredients", Opinion: "fresh",
+				AspectSyns: []string{"ingredients", "produce", "vegetables", "seafood", "fish"},
+				PosOps:     []string{"fresh", "crisp", "seasonal", "garden fresh", "organic"},
+				NegOps:     []string{"stale", "frozen", "wilted", "canned"},
+			},
+			{
+				ID: 11, Name: "generous portions", Aspect: "portions", Opinion: "generous",
+				AspectSyns: []string{"portions", "servings", "helpings", "plate sizes"},
+				PosOps:     []string{"generous", "huge", "hearty", "ample", "big"},
+				NegOps:     []string{"tiny", "small", "stingy", "minuscule"},
+			},
+			{
+				ID: 12, Name: "cozy decor", Aspect: "decor", Opinion: "cozy",
+				AspectSyns: []string{"decor", "interior", "furnishings", "design", "decoration"},
+				PosOps:     []string{"cozy", "beautiful", "warm", "tasteful", "elegant", "stylish"},
+				NegOps:     []string{"shabby", "dated", "tacky", "drab"},
+			},
+			{
+				ID: 13, Name: "fast delivery", Aspect: "delivery", Opinion: "fast",
+				AspectSyns: []string{"delivery", "takeout", "courier", "delivery times"},
+				PosOps:     []string{"fast", "rapid", "punctual", "on time", "quick"},
+				NegOps:     []string{"late", "slow", "unreliable", "delayed"},
+			},
+			{
+				ID: 14, Name: "friendly owner", Aspect: "owner", Opinion: "friendly",
+				AspectSyns: []string{"owner", "manager", "host", "chef", "maitre d"},
+				PosOps:     []string{"friendly", "charming", "gracious", "warm", "passionate"},
+				NegOps:     []string{"grumpy", "absent", "arrogant"},
+			},
+			{
+				ID: 15, Name: "extensive wine list", Aspect: "wine list", Opinion: "extensive",
+				AspectSyns: []string{"wine list", "wine selection", "drinks", "cocktails", "wines"},
+				PosOps:     []string{"extensive", "curated", "impressive", "remarkable", "well chosen"},
+				NegOps:     []string{"thin", "poor", "limited"},
+			},
+			{
+				ID: 16, Name: "authentic cuisine", Aspect: "cuisine", Opinion: "authentic",
+				AspectSyns: []string{"cuisine", "flavors", "recipes", "dishes", "specialties"},
+				PosOps:     []string{"authentic", "traditional", "genuine", "true to its roots", "homestyle"},
+				NegOps:     []string{"fake", "watered down", "generic"},
+			},
+			{
+				ID: 17, Name: "comfortable seating", Aspect: "seating", Opinion: "comfortable",
+				AspectSyns: []string{"seating", "chairs", "tables", "booths", "bar stools"},
+				PosOps:     []string{"comfortable", "spacious", "plush", "roomy", "comfy"},
+				NegOps:     []string{"cramped", "rickety", "hard", "uncomfortable"},
+			},
+		},
+		Fillers: []string{
+			"here", "last night", "for dinner", "with friends", "on a date",
+			"for lunch", "again", "every time", "without a doubt", "honestly",
+		},
+		Entities: []string{
+			"Vue du Monde", "Anchovy", "Pizza Hut", "Kazuki's", "McDonald's",
+			"Trattoria Roma", "La Piazza", "Osteria Nonna", "Il Forno", "Casa Mia",
+			"Bella Napoli", "Da Vinci", "Little Venice", "Porto Fino", "San Marco",
+			"Gusto", "Amalfi", "Dolce Vita", "Pasta Bar", "Luna Rossa",
+		},
+	}
+}

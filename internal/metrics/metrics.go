@@ -1,0 +1,163 @@
+// Package metrics implements the evaluation measures of §6: NDCG over
+// ranked entity lists (Eq. 10–11), exact-match chunk precision/recall/F1 for
+// the aspect/opinion tagger (§6.3, NER-style), and binary classification
+// metrics for the pairing models (§6.4).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"saccs/internal/tokenize"
+)
+
+// DCG computes Eq. 10 for a ranked entity list: gains[e] must already be the
+// mean sat(q_i, e) over the query's tags, in [0, 1]. Entities absent from
+// gains contribute zero gain.
+func DCG(gains map[string]float64, ranked []string) float64 {
+	var dcg float64
+	for j, e := range ranked {
+		g := gains[e]
+		dcg += (math.Pow(2, g) - 1) / math.Log2(float64(j)+2)
+	}
+	return dcg
+}
+
+// IdealDCG computes the DCG of the best possible ordering of the entities in
+// gains, truncated to k (Eq. 11's iDCG).
+func IdealDCG(gains map[string]float64, k int) float64 {
+	es := make([]string, 0, len(gains))
+	for e := range gains {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if gains[es[i]] != gains[es[j]] {
+			return gains[es[i]] > gains[es[j]]
+		}
+		return es[i] < es[j] // deterministic tie-break
+	})
+	if k > 0 && len(es) > k {
+		es = es[:k]
+	}
+	return DCG(gains, es)
+}
+
+// NDCG computes Eq. 11: DCG(ranked[:k]) / iDCG(k). It returns 1 when the
+// ideal DCG is zero (nothing relevant exists, so any ordering is perfect).
+func NDCG(gains map[string]float64, ranked []string, k int) float64 {
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	ideal := IdealDCG(gains, k)
+	if ideal == 0 {
+		return 1
+	}
+	return DCG(gains, ranked) / ideal
+}
+
+// PRF bundles precision, recall and F1.
+type PRF struct {
+	Precision, Recall, F1 float64
+}
+
+// F1 from precision and recall, guarding the zero denominator.
+func f1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// ChunkPRF computes exact-match precision/recall/F1 between gold and
+// predicted IOB label sequences, decoded into chunks: a predicted aspect or
+// opinion counts only if its kind and exact token boundaries match a gold
+// chunk (§6.3: "it needs to match the exact terms present in the ground
+// truth"). Sequences are paired by index; lengths must match per pair.
+func ChunkPRF(gold, pred [][]tokenize.Label) PRF {
+	var tp, fp, fn float64
+	for i := range gold {
+		gSpans := tokenize.Spans(gold[i])
+		pSpans := tokenize.Spans(pred[i])
+		gSet := make(map[tokenize.Span]bool, len(gSpans))
+		for _, s := range gSpans {
+			gSet[s] = true
+		}
+		matched := make(map[tokenize.Span]bool)
+		for _, s := range pSpans {
+			if gSet[s] && !matched[s] {
+				tp++
+				matched[s] = true
+			} else {
+				fp++
+			}
+		}
+		fn += float64(len(gSpans) - len(matched))
+	}
+	var p, r float64
+	if tp+fp > 0 {
+		p = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		r = tp / (tp + fn)
+	}
+	return PRF{Precision: p, Recall: r, F1: f1(p, r)}
+}
+
+// Binary accumulates binary classification outcomes.
+type Binary struct {
+	TP, FP, TN, FN int
+}
+
+// Observe records one prediction against its gold label.
+func (b *Binary) Observe(pred, gold bool) {
+	switch {
+	case pred && gold:
+		b.TP++
+	case pred && !gold:
+		b.FP++
+	case !pred && !gold:
+		b.TN++
+	default:
+		b.FN++
+	}
+}
+
+// Accuracy returns (TP+TN)/total, or 0 when empty.
+func (b *Binary) Accuracy() float64 {
+	n := b.TP + b.FP + b.TN + b.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(b.TP+b.TN) / float64(n)
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (b *Binary) Precision() float64 {
+	if b.TP+b.FP == 0 {
+		return 0
+	}
+	return float64(b.TP) / float64(b.TP+b.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (b *Binary) Recall() float64 {
+	if b.TP+b.FN == 0 {
+		return 0
+	}
+	return float64(b.TP) / float64(b.TP+b.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (b *Binary) F1() float64 { return f1(b.Precision(), b.Recall()) }
+
+// Mean returns the arithmetic mean of xs, or 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

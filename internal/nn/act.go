@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"saccs/internal/mat"
+)
+
+// Sigmoid returns 1/(1+e^-x) computed stably.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// SigmoidVec applies Sigmoid element-wise, returning a new vector.
+func SigmoidVec(x mat.Vec) mat.Vec {
+	y := mat.NewVec(len(x))
+	for i, v := range x {
+		y[i] = Sigmoid(v)
+	}
+	return y
+}
+
+// TanhVec applies tanh element-wise, returning a new vector.
+func TanhVec(x mat.Vec) mat.Vec {
+	y := mat.NewVec(len(x))
+	for i, v := range x {
+		y[i] = math.Tanh(v)
+	}
+	return y
+}
+
+// ReLUVec applies max(0,x) element-wise, returning a new vector.
+func ReLUVec(x mat.Vec) mat.Vec {
+	y := mat.NewVec(len(x))
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+		}
+	}
+	return y
+}
+
+// ReLUBackward returns dy masked by the forward activation y.
+func ReLUBackward(y, dy mat.Vec) mat.Vec {
+	dx := mat.NewVec(len(y))
+	for i := range y {
+		if y[i] > 0 {
+			dx[i] = dy[i]
+		}
+	}
+	return dx
+}
+
+// GELUVec applies the tanh-approximation GELU used by transformer FFNs.
+func GELUVec(x mat.Vec) mat.Vec {
+	y := mat.NewVec(len(x))
+	for i, v := range x {
+		y[i] = gelu(v)
+	}
+	return y
+}
+
+func gelu(x float64) float64 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+}
+
+// GELUBackward returns dy scaled by dGELU/dx at the forward input x.
+func GELUBackward(x, dy mat.Vec) mat.Vec {
+	dx := mat.NewVec(len(x))
+	const c = 0.7978845608028654
+	for i, v := range x {
+		inner := c * (v + 0.044715*v*v*v)
+		t := math.Tanh(inner)
+		dinner := c * (1 + 3*0.044715*v*v)
+		dx[i] = dy[i] * (0.5*(1+t) + 0.5*v*(1-t*t)*dinner)
+	}
+	return dx
+}
+
+// Dropout zeroes activations with probability P during training and rescales
+// survivors by 1/(1-P) (inverted dropout). In eval mode it is the identity.
+type Dropout struct {
+	P     float64
+	Train bool
+	rng   *rand.Rand
+}
+
+// NewDropout returns a dropout layer in training mode.
+func NewDropout(rng *rand.Rand, p float64) *Dropout {
+	return &Dropout{P: p, Train: true, rng: rng}
+}
+
+// Forward applies dropout and returns the output plus the mask needed for
+// the backward pass (nil in eval mode or when P==0).
+func (d *Dropout) Forward(x mat.Vec) (mat.Vec, []bool) {
+	if !d.Train || d.P <= 0 {
+		return x.Clone(), nil
+	}
+	y := mat.NewVec(len(x))
+	mask := make([]bool, len(x))
+	scale := 1 / (1 - d.P)
+	for i, v := range x {
+		if d.rng.Float64() >= d.P {
+			mask[i] = true
+			y[i] = v * scale
+		}
+	}
+	return y, mask
+}
+
+// Backward routes dy through the forward mask.
+func (d *Dropout) Backward(dy mat.Vec, mask []bool) mat.Vec {
+	if mask == nil {
+		return dy.Clone()
+	}
+	dx := mat.NewVec(len(dy))
+	scale := 1 / (1 - d.P)
+	for i, v := range dy {
+		if mask[i] {
+			dx[i] = v * scale
+		}
+	}
+	return dx
+}

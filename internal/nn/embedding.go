@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"math/rand"
+
+	"saccs/internal/mat"
+)
+
+// Embedding is a lookup table mapping token ids to dense vectors.
+type Embedding struct {
+	VocabSize, Dim int
+	Table          *Param // VocabSize×Dim
+}
+
+// NewEmbedding returns an embedding table initialized with N(0, 0.1²).
+func NewEmbedding(rng *rand.Rand, name string, vocabSize, dim int) *Embedding {
+	e := &Embedding{VocabSize: vocabSize, Dim: dim, Table: NewParam(name+".table", vocabSize, dim)}
+	NormalInit(rng, e.Table, 0.1)
+	return e
+}
+
+// Params returns the layer's learnable tensors.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
+
+// Lookup returns a copy of the embedding row for id (so callers may perturb
+// it — adversarial training adds FGSM noise to exactly these vectors).
+func (e *Embedding) Lookup(id int) mat.Vec {
+	return e.Table.W.Row(clampID(id, e.VocabSize)).Clone()
+}
+
+// LookupSeq embeds a token id sequence.
+func (e *Embedding) LookupSeq(ids []int) []mat.Vec {
+	out := make([]mat.Vec, len(ids))
+	for i, id := range ids {
+		out[i] = e.Lookup(id)
+	}
+	return out
+}
+
+// Accumulate adds dvec into the gradient row for id.
+func (e *Embedding) Accumulate(id int, dvec mat.Vec) {
+	e.Table.G.Row(clampID(id, e.VocabSize)).Add(dvec)
+}
+
+// AccumulateSeq adds per-token gradients for an embedded sequence.
+func (e *Embedding) AccumulateSeq(ids []int, dvecs []mat.Vec) {
+	for i, id := range ids {
+		e.Accumulate(id, dvecs[i])
+	}
+}
+
+func clampID(id, n int) int {
+	if id < 0 || id >= n {
+		return 0
+	}
+	return id
+}

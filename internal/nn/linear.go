@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"math/rand"
+
+	"saccs/internal/mat"
+)
+
+// Linear is a fully connected layer y = W·x + b.
+type Linear struct {
+	In, Out int
+	Weight  *Param // Out×In
+	Bias    *Param // 1×Out
+}
+
+// NewLinear returns a Xavier-initialized linear layer.
+func NewLinear(rng *rand.Rand, name string, in, out int) *Linear {
+	l := &Linear{
+		In:     in,
+		Out:    out,
+		Weight: NewParam(name+".weight", out, in),
+		Bias:   NewParam(name+".bias", 1, out),
+	}
+	XavierInit(rng, l.Weight)
+	return l
+}
+
+// Params returns the layer's learnable tensors.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Forward computes y = W·x + b.
+func (l *Linear) Forward(x mat.Vec) mat.Vec {
+	y := mat.NewVec(l.Out)
+	l.Weight.W.MulVec(y, x)
+	y.Add(l.Bias.W.Row(0))
+	return y
+}
+
+// Backward accumulates gradients given upstream dy and the forward input x,
+// and returns dx.
+func (l *Linear) Backward(x, dy mat.Vec) mat.Vec {
+	l.Weight.G.AddOuter(dy, x)
+	l.Bias.G.Row(0).Add(dy)
+	dx := mat.NewVec(l.In)
+	l.Weight.W.MulVecT(dx, dy)
+	return dx
+}
+
+// ForwardSeq applies the layer to each vector in xs.
+func (l *Linear) ForwardSeq(xs []mat.Vec) []mat.Vec {
+	ys := make([]mat.Vec, len(xs))
+	for i, x := range xs {
+		ys[i] = l.Forward(x)
+	}
+	return ys
+}
+
+// BackwardSeq backpropagates a sequence of upstream gradients.
+func (l *Linear) BackwardSeq(xs, dys []mat.Vec) []mat.Vec {
+	dxs := make([]mat.Vec, len(xs))
+	for i := range xs {
+		dxs[i] = l.Backward(xs[i], dys[i])
+	}
+	return dxs
+}

@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"math"
+
+	"saccs/internal/mat"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears nothing; callers ZeroGrads after.
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional weight decay.
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// Step applies w -= lr * (g + wd*w) to every parameter.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i, g := range p.G.Data {
+			if s.WeightDecay != 0 {
+				g += s.WeightDecay * p.W.Data[i]
+			}
+			p.W.Data[i] -= s.LR * g
+		}
+	}
+}
+
+// Adam implements the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param]*mat.Mat
+}
+
+// NewAdam returns an Adam optimizer with the standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*mat.Mat), v: make(map[*Param]*mat.Mat),
+	}
+}
+
+// Step applies one Adam update to every parameter.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = mat.NewMat(p.W.Rows, p.W.Cols)
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = mat.NewMat(p.W.Rows, p.W.Cols)
+			a.v[p] = v
+		}
+		for i, g := range p.G.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			p.W.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package nn is the neural-network substrate of the reproduction: layers
+// with handwritten backpropagation (Linear, Embedding, Dropout, LSTM/BiLSTM),
+// a linear-chain CRF with forward–backward gradients and Viterbi/beam
+// decoding (Eq. 4–5 of the paper), softmax cross-entropy, SGD/Adam
+// optimizers, gradient clipping, and the FGSM perturbation of Eq. 9 used for
+// adversarial training.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"saccs/internal/mat"
+)
+
+// Param is one learnable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *mat.Mat
+	G    *mat.Mat
+}
+
+// NewParam allocates a named zero parameter of the given shape.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: mat.NewMat(rows, cols), G: mat.NewMat(rows, cols)}
+}
+
+// ZeroGrad clears the parameter's gradient.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// ZeroGrads clears every gradient in params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// GradNorm returns the global L2 norm over all gradients.
+func GradNorm(params []*Param) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			sq += g * g
+		}
+	}
+	return math.Sqrt(sq)
+}
+
+// ClipGrads rescales all gradients so their global norm is at most maxNorm.
+func ClipGrads(params []*Param, maxNorm float64) {
+	n := GradNorm(params)
+	if n <= maxNorm || n == 0 {
+		return
+	}
+	s := maxNorm / n
+	for _, p := range params {
+		p.G.Scale(s)
+	}
+}
+
+// XavierInit fills p.W with Glorot-uniform values sized by fan-in/fan-out.
+func XavierInit(rng *rand.Rand, p *Param) {
+	fanIn, fanOut := p.W.Cols, p.W.Rows
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range p.W.Data {
+		p.W.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// NormalInit fills p.W with N(0, std²) values.
+func NormalInit(rng *rand.Rand, p *Param, std float64) {
+	for i := range p.W.Data {
+		p.W.Data[i] = rng.NormFloat64() * std
+	}
+}

@@ -1,0 +1,272 @@
+// Package parse builds shallow constituency trees and computes the
+// leaf-to-leaf tree distances behind the first pairing heuristic of §5.1:
+// an opinion belongs with the aspect that shares its subtree ("The staff is
+// friendly, helpful and professional. The decor is beautiful" puts staff and
+// professional in one clause, decor and beautiful in another). The parser
+// inherits the heuristic's documented limitations: long unpunctuated
+// sentences collapse into one clause (limitation (i)) and typos/missing
+// punctuation corrupt the tree (limitation (ii)).
+package parse
+
+import (
+	"strings"
+
+	"saccs/internal/lexicon"
+	"saccs/internal/postag"
+)
+
+// Node is a tree node: internal nodes carry a constituent label, leaves a
+// token index.
+type Node struct {
+	Label    string // "S", "CLAUSE", "NP", "VP", "ADJP", "PP", "X", "TOK"
+	Token    int    // token index for leaves, -1 otherwise
+	Children []*Node
+	parent   *Node
+}
+
+// Tree is a parsed sentence.
+type Tree struct {
+	Tokens []string
+	Root   *Node
+	leaves []*Node // indexed by token position
+}
+
+// DomainLexicon converts a domain's aspect/opinion vocabulary into POS
+// overrides: aspect words tag as nouns, opinion words as adjectives.
+func DomainLexicon(d *lexicon.Domain) postag.Lexicon {
+	lex := postag.Lexicon{}
+	for _, f := range d.Features {
+		for _, v := range f.AspectSyns {
+			for _, w := range strings.Fields(v) {
+				lex[w] = postag.Noun
+			}
+		}
+		for _, v := range append(append([]string{}, f.PosOps...), f.NegOps...) {
+			for _, w := range strings.Fields(v) {
+				if _, exists := lex[w]; !exists {
+					lex[w] = postag.Adj
+				}
+			}
+		}
+	}
+	return lex
+}
+
+// Build parses tokens into a shallow tree: S → CLAUSE* → phrase* → TOK*.
+// Clauses split at sentence punctuation and at conjunctions that introduce a
+// new subject; phrases chunk determiner-adjective-noun groups (NP),
+// verb groups (VP), adjective groups (ADJP), and preposition groups (PP).
+func Build(lex postag.Lexicon, tokens []string) *Tree {
+	tags := postag.TagSeq(lex, tokens)
+	t := &Tree{
+		Tokens: tokens,
+		Root:   &Node{Label: "S", Token: -1},
+		leaves: make([]*Node, len(tokens)),
+	}
+	clauses := splitClauses(tokens, tags)
+	for _, cl := range clauses {
+		clause := &Node{Label: "CLAUSE", Token: -1, parent: t.Root}
+		t.Root.Children = append(t.Root.Children, clause)
+		for _, ph := range chunkPhrases(tags, cl.start, cl.end) {
+			phrase := &Node{Label: ph.label, Token: -1, parent: clause}
+			clause.Children = append(clause.Children, phrase)
+			for i := ph.start; i < ph.end; i++ {
+				leaf := &Node{Label: "TOK", Token: i, parent: phrase}
+				phrase.Children = append(phrase.Children, leaf)
+				t.leaves[i] = leaf
+			}
+		}
+	}
+	return t
+}
+
+type span struct{ start, end int }
+
+// splitClauses cuts the token range at strong boundaries: sentence-final
+// punctuation always ends a clause; a conjunction followed by a determiner,
+// pronoun or noun phrase start (i.e. a fresh subject) ends a clause; a comma
+// does NOT (so "friendly, helpful and professional" stays together).
+func splitClauses(tokens []string, tags []postag.Tag) []span {
+	var out []span
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			out = append(out, span{start, end})
+		}
+		start = end
+	}
+	for i := 0; i < len(tokens); i++ {
+		switch {
+		case tags[i] == postag.Punct && isSentenceFinal(tokens[i]):
+			flush(i + 1)
+		case tags[i] == postag.Conj && i+1 < len(tokens) && startsNewSubject(tags, i+1):
+			flush(i) // conjunction belongs to the next clause
+		}
+	}
+	flush(len(tokens))
+	if len(out) == 0 {
+		out = append(out, span{0, len(tokens)})
+	}
+	return out
+}
+
+func isSentenceFinal(tok string) bool {
+	return tok == "." || tok == "!" || tok == "?" || tok == ";"
+}
+
+// startsNewSubject reports whether position i begins a new clause subject:
+// a determiner or pronoun followed eventually by a verb in this clause.
+// A bare adjective after the conjunction ("friendly and professional") does
+// not start a clause.
+func startsNewSubject(tags []postag.Tag, i int) bool {
+	if tags[i] != postag.Det && tags[i] != postag.Pron {
+		return false
+	}
+	// Look ahead for a verb before the next boundary — "the decor is ..."
+	for j := i + 1; j < len(tags) && j < i+6; j++ {
+		switch tags[j] {
+		case postag.Verb:
+			return true
+		case postag.Punct, postag.Conj:
+			return false
+		}
+	}
+	return false
+}
+
+type phrase struct {
+	label      string
+	start, end int
+}
+
+// chunkPhrases groups [start,end) into flat phrases by tag patterns.
+func chunkPhrases(tags []postag.Tag, start, end int) []phrase {
+	var out []phrase
+	i := start
+	for i < end {
+		switch tags[i] {
+		case postag.Det:
+			j := i + 1
+			for j < end && (tags[j] == postag.Adj || tags[j] == postag.Adv || tags[j] == postag.Noun || tags[j] == postag.Num) {
+				j++
+			}
+			out = append(out, phrase{"NP", i, j})
+			i = j
+		case postag.Noun, postag.Pron, postag.Num:
+			j := i + 1
+			for j < end && tags[j] == postag.Noun {
+				j++
+			}
+			out = append(out, phrase{"NP", i, j})
+			i = j
+		case postag.Verb:
+			j := i + 1
+			for j < end && tags[j] == postag.Verb {
+				j++
+			}
+			out = append(out, phrase{"VP", i, j})
+			i = j
+		case postag.Adv, postag.Adj:
+			// ADJP absorbs adverbs, adjectives, commas between adjectives,
+			// and coordinating conjunctions inside an enumeration
+			// ("friendly , helpful and professional").
+			j := i
+			for j < end {
+				switch tags[j] {
+				case postag.Adv, postag.Adj:
+					j++
+					continue
+				case postag.Punct, postag.Conj:
+					if j+1 < end && (tags[j+1] == postag.Adj || tags[j+1] == postag.Adv) {
+						j++
+						continue
+					}
+				}
+				break
+			}
+			out = append(out, phrase{"ADJP", i, j})
+			i = j
+		case postag.Prep:
+			j := i + 1
+			for j < end && (tags[j] == postag.Det || tags[j] == postag.Adj || tags[j] == postag.Noun || tags[j] == postag.Num) {
+				j++
+			}
+			out = append(out, phrase{"PP", i, j})
+			i = j
+		default:
+			out = append(out, phrase{"X", i, i + 1})
+			i++
+		}
+	}
+	return out
+}
+
+// Distance returns the number of edges on the leaf-to-leaf path between
+// token i and token j (0 for i==j). Out-of-range indices return a large
+// distance so callers can treat them as "unrelated".
+func (t *Tree) Distance(i, j int) int {
+	const far = 1 << 20
+	if i < 0 || j < 0 || i >= len(t.leaves) || j >= len(t.leaves) {
+		return far
+	}
+	a, b := t.leaves[i], t.leaves[j]
+	if a == nil || b == nil {
+		return far
+	}
+	da := depthChain(a)
+	db := depthChain(b)
+	// Find lowest common ancestor by comparing chains from the root.
+	k := 0
+	for k < len(da) && k < len(db) && da[len(da)-1-k] == db[len(db)-1-k] {
+		k++
+	}
+	return (len(da) - k) + (len(db) - k)
+}
+
+func depthChain(n *Node) []*Node {
+	var chain []*Node
+	for cur := n; cur != nil; cur = cur.parent {
+		chain = append(chain, cur)
+	}
+	return chain
+}
+
+// SameClause reports whether tokens i and j belong to the same CLAUSE node.
+func (t *Tree) SameClause(i, j int) bool {
+	ci := t.clauseOf(i)
+	return ci != nil && ci == t.clauseOf(j)
+}
+
+func (t *Tree) clauseOf(i int) *Node {
+	if i < 0 || i >= len(t.leaves) || t.leaves[i] == nil {
+		return nil
+	}
+	for cur := t.leaves[i]; cur != nil; cur = cur.parent {
+		if cur.Label == "CLAUSE" {
+			return cur
+		}
+	}
+	return nil
+}
+
+// String renders the tree as a bracketed s-expression, for debugging and
+// the examples.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.Token >= 0 {
+			b.WriteString(t.Tokens[n.Token])
+			return
+		}
+		b.WriteByte('(')
+		b.WriteString(n.Label)
+		for _, c := range n.Children {
+			b.WriteByte(' ')
+			rec(c)
+		}
+		b.WriteByte(')')
+	}
+	rec(t.Root)
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"saccs/internal/lexicon"
+	"saccs/internal/tokenize"
+)
+
+func restaurantLex() map[string]uint8 { return nil } // silence unused helper pattern
+
+func buildR(t *testing.T, text string) *Tree {
+	t.Helper()
+	lex := DomainLexicon(lexicon.Restaurants())
+	return Build(lex, tokenize.Words(text))
+}
+
+func TestPaperExampleClauseSplit(t *testing.T) {
+	// "The staff is friendly, helpful and professional. The decor is
+	// beautiful" — professional must be closer to staff than to decor (§5.1).
+	tr := buildR(t, "The staff is friendly, helpful and professional. The decor is beautiful.")
+	toks := tr.Tokens
+	idx := func(w string) int {
+		for i, tok := range toks {
+			if tok == w {
+				return i
+			}
+		}
+		t.Fatalf("token %q not found in %v", w, toks)
+		return -1
+	}
+	staff, prof, decor := idx("staff"), idx("professional"), idx("decor")
+	if !tr.SameClause(staff, prof) {
+		t.Fatalf("staff and professional must share a clause: %s", tr)
+	}
+	if tr.SameClause(prof, decor) {
+		t.Fatalf("professional and decor must be in different clauses: %s", tr)
+	}
+	if tr.Distance(staff, prof) >= tr.Distance(decor, prof) {
+		t.Fatalf("tree distance must prefer staff (%d) over decor (%d): %s",
+			tr.Distance(staff, prof), tr.Distance(decor, prof), tr)
+	}
+}
+
+func TestConjunctionWithNewSubjectSplits(t *testing.T) {
+	tr := buildR(t, "the food is delicious and the staff is friendly")
+	food, staff := 1, 6
+	if tr.Tokens[food] != "food" || tr.Tokens[staff] != "staff" {
+		t.Fatalf("token positions shifted: %v", tr.Tokens)
+	}
+	if tr.SameClause(food, staff) {
+		t.Fatalf("two full clauses must split: %s", tr)
+	}
+}
+
+func TestEnumerationDoesNotSplit(t *testing.T) {
+	tr := buildR(t, "the staff is friendly and professional")
+	// "friendly and professional" is one enumeration — one clause.
+	for i := range tr.Tokens {
+		if !tr.SameClause(0, i) {
+			t.Fatalf("enumeration must stay in one clause: %s", tr)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	tr := buildR(t, "the food is delicious. the staff is friendly.")
+	n := len(tr.Tokens)
+	for i := 0; i < n; i++ {
+		if tr.Distance(i, i) != 0 {
+			t.Fatalf("Distance(i,i) must be 0")
+		}
+		for j := 0; j < n; j++ {
+			if tr.Distance(i, j) != tr.Distance(j, i) {
+				t.Fatalf("Distance must be symmetric at (%d,%d)", i, j)
+			}
+			if i != j && tr.Distance(i, j) <= 0 {
+				t.Fatalf("distinct leaves must have positive distance")
+			}
+		}
+	}
+	if tr.Distance(-1, 0) < 1<<19 || tr.Distance(0, 999) < 1<<19 {
+		t.Fatal("out-of-range must be far")
+	}
+}
+
+func TestLongSentenceDegradesToOneClause(t *testing.T) {
+	// Limitation (i): no punctuation, no fresh subject → single clause.
+	tr := buildR(t, "delicious food friendly staff beautiful decor quick service")
+	for i := range tr.Tokens {
+		if !tr.SameClause(0, i) {
+			t.Fatalf("unpunctuated sentence should collapse to one clause: %s", tr)
+		}
+	}
+}
+
+func TestMissingPunctuationMergesClauses(t *testing.T) {
+	// Limitation (ii): dropping the period merges the two clauses.
+	withDot := buildR(t, "the staff is friendly. the decor is beautiful.")
+	without := buildR(t, "the staff is friendly the decor is beautiful")
+	staffW, decorW := 1, 5
+	if without.Tokens[staffW] != "staff" || without.Tokens[decorW] != "decor" {
+		t.Fatalf("positions: %v", without.Tokens)
+	}
+	if !withDot.SameClause(1, 1) {
+		t.Fatal("sanity")
+	}
+	// Without the period the split can only happen if a verb pattern rescues
+	// it; either way the tree must still be valid and distances finite.
+	if d := without.Distance(staffW, decorW); d <= 0 || d >= 1<<19 {
+		t.Fatalf("degraded tree must still give finite distances: %d", d)
+	}
+}
+
+func TestEmptyAndSingleToken(t *testing.T) {
+	lex := DomainLexicon(lexicon.Restaurants())
+	tr := Build(lex, nil)
+	if tr.Root == nil {
+		t.Fatal("nil root")
+	}
+	tr1 := Build(lex, []string{"delicious"})
+	if tr1.Distance(0, 0) != 0 {
+		t.Fatal("single token distance")
+	}
+}
+
+func TestDomainLexicon(t *testing.T) {
+	lex := DomainLexicon(lexicon.Restaurants())
+	if lex["food"].String() != "NOUN" {
+		t.Fatalf("aspect word must be NOUN: %v", lex["food"])
+	}
+	if lex["delicious"].String() != "ADJ" {
+		t.Fatalf("opinion word must be ADJ: %v", lex["delicious"])
+	}
+	// Aspect nouns win over opinion adjectives on collision.
+	if lex["view"].String() != "NOUN" {
+		t.Fatalf("aspect/opinion collision must resolve to NOUN: %v", lex["view"])
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tr := buildR(t, "the food is delicious.")
+	s := tr.String()
+	if !strings.HasPrefix(s, "(S") || !strings.Contains(s, "CLAUSE") {
+		t.Fatalf("unexpected rendering: %s", s)
+	}
+	if !strings.Contains(s, "delicious") {
+		t.Fatalf("leaves missing: %s", s)
+	}
+}
+
+var _ = restaurantLex

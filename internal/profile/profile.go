@@ -1,0 +1,137 @@
+// Package profile implements the first future-work item of §7: "subjective
+// digital assistants should be able to take into account user profiles and
+// adjust their search and interaction behavior accordingly". A Profile
+// accumulates the subjective tags a user asks about across sessions; at
+// ranking time, entities strong in the user's standing preferences get a
+// personalized boost even when the current utterance doesn't mention them.
+package profile
+
+import (
+	"math"
+	"sort"
+
+	"saccs/internal/index"
+	"saccs/internal/search"
+	"saccs/internal/sim"
+)
+
+// Profile is one user's accumulated subjective preferences.
+type Profile struct {
+	// UserID identifies the user.
+	UserID string
+
+	measure sim.Measure
+	// weights holds a decayed interest weight per canonical tag string.
+	weights map[string]float64
+	// Decay multiplies existing weights on every observation (recency bias).
+	Decay float64
+}
+
+// New returns an empty profile. A nil measure defaults to conceptual
+// similarity.
+func New(userID string, measure sim.Measure) *Profile {
+	if measure == nil {
+		measure = sim.NewConceptual()
+	}
+	return &Profile{
+		UserID:  userID,
+		measure: measure,
+		weights: map[string]float64{},
+		Decay:   0.9,
+	}
+}
+
+// Observe records that the user asked about these tags. Similar existing
+// interests are reinforced rather than duplicated: a new tag merges into the
+// closest stored tag when their similarity exceeds 0.8.
+func (p *Profile) Observe(tags []string) {
+	for k := range p.weights {
+		p.weights[k] *= p.Decay
+	}
+	for _, tag := range tags {
+		bestKey, bestSim := "", 0.0
+		for k := range p.weights {
+			if s := p.measure.Phrase(tag, k); s > bestSim {
+				bestKey, bestSim = k, s
+			}
+		}
+		if bestSim > 0.8 {
+			p.weights[bestKey] += 1
+		} else {
+			p.weights[tag] += 1
+		}
+	}
+}
+
+// Interest returns the user's interest in a tag: the maximum stored weight
+// scaled by similarity, normalized to [0, 1] by the largest weight.
+func (p *Profile) Interest(tag string) float64 {
+	maxW := 0.0
+	for _, w := range p.weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW == 0 {
+		return 0
+	}
+	best := 0.0
+	for k, w := range p.weights {
+		s := p.measure.Phrase(tag, k) * w / maxW
+		if s > best {
+			best = s
+		}
+	}
+	return math.Min(1, best)
+}
+
+// Preferences returns the stored tags sorted by weight descending.
+func (p *Profile) Preferences() []string {
+	keys := make([]string, 0, len(p.weights))
+	for k := range p.weights {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if p.weights[keys[i]] != p.weights[keys[j]] {
+			return p.weights[keys[i]] > p.weights[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// Personalize re-scores a ranked list: each entity's score is blended with
+// its degrees of truth on the user's top standing preferences, weighted by
+// blend ∈ [0,1] (0 = no personalization). The ranked order of the original
+// query's scores is preserved under ties.
+func (p *Profile) Personalize(ix *index.Index, ranked []search.Scored, blend float64, topPrefs int) []search.Scored {
+	if blend <= 0 || len(p.weights) == 0 {
+		return ranked
+	}
+	prefs := p.Preferences()
+	if topPrefs > 0 && len(prefs) > topPrefs {
+		prefs = prefs[:topPrefs]
+	}
+	// Gather the user-preference degree per entity.
+	prefScore := map[string]float64{}
+	for _, tag := range prefs {
+		w := p.Interest(tag)
+		for _, e := range ix.Resolve(tag, 0.45) {
+			prefScore[e.EntityID] += w * e.Degree
+		}
+	}
+	if len(prefs) > 0 {
+		for id := range prefScore {
+			prefScore[id] /= float64(len(prefs))
+		}
+	}
+	out := make([]search.Scored, len(ranked))
+	for i, s := range ranked {
+		out[i] = search.Scored{
+			EntityID: s.EntityID,
+			Score:    (1-blend)*s.Score + blend*prefScore[s.EntityID],
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}

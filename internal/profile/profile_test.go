@@ -1,0 +1,87 @@
+package profile
+
+import (
+	"testing"
+
+	"saccs/internal/index"
+	"saccs/internal/search"
+	"saccs/internal/sim"
+)
+
+func TestObserveAndInterest(t *testing.T) {
+	p := New("u1", nil)
+	if p.Interest("delicious food") != 0 {
+		t.Fatal("empty profile must have zero interest")
+	}
+	p.Observe([]string{"delicious food"})
+	if got := p.Interest("delicious food"); got != 1 {
+		t.Fatalf("exact interest: %v", got)
+	}
+	// Conceptually related tag: nonzero but lower.
+	rel := p.Interest("tasty food")
+	if rel <= 0 || rel >= 1 {
+		t.Fatalf("related interest: %v", rel)
+	}
+	if un := p.Interest("fast delivery"); un >= rel {
+		t.Fatalf("unrelated interest %v must be below related %v", un, rel)
+	}
+}
+
+func TestObserveMergesSimilarTags(t *testing.T) {
+	p := New("u1", nil)
+	p.Observe([]string{"delicious food"})
+	p.Observe([]string{"delicious food"}) // reinforce, not duplicate
+	if got := len(p.Preferences()); got != 1 {
+		t.Fatalf("similar observations must merge: %v", p.Preferences())
+	}
+	p.Observe([]string{"nice staff"})
+	prefs := p.Preferences()
+	if len(prefs) != 2 || prefs[0] != "delicious food" {
+		t.Fatalf("preferences: %v", prefs)
+	}
+}
+
+func TestDecayShiftsPreferences(t *testing.T) {
+	p := New("u1", nil)
+	p.Observe([]string{"delicious food"})
+	for i := 0; i < 6; i++ {
+		p.Observe([]string{"quick service"})
+	}
+	if p.Preferences()[0] != "quick service" {
+		t.Fatalf("recent interest must dominate: %v", p.Preferences())
+	}
+}
+
+func TestPersonalizeBoostsPreferredEntities(t *testing.T) {
+	measure := sim.NewConceptual()
+	ix := index.New(measure, 0.55)
+	ix.Build([]string{"romantic ambiance"}, []index.EntityReviews{
+		{EntityID: "cozy", ReviewCount: 10, Tags: []string{"romantic ambiance", "romantic ambiance", "romantic ambiance"}},
+		{EntityID: "loud", ReviewCount: 10, Tags: nil},
+	})
+
+	p := New("u1", measure)
+	p.Observe([]string{"romantic ambiance"})
+
+	// The current query ties both entities.
+	ranked := []search.Scored{{EntityID: "loud", Score: 0.5}, {EntityID: "cozy", Score: 0.5}}
+	got := p.Personalize(ix, ranked, 0.5, 5)
+	if got[0].EntityID != "cozy" {
+		t.Fatalf("personalization must break the tie toward the user's standing preference: %v", got)
+	}
+	// blend=0 is a no-op.
+	same := p.Personalize(ix, ranked, 0, 5)
+	for i := range same {
+		if same[i] != ranked[i] {
+			t.Fatal("blend=0 must not reorder")
+		}
+	}
+	// Empty profile is a no-op.
+	empty := New("u2", measure)
+	same = empty.Personalize(ix, ranked, 0.5, 5)
+	for i := range same {
+		if same[i] != ranked[i] {
+			t.Fatal("empty profile must not reorder")
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package search implements the conversational plumbing of §3: a dialog shim
+// with intent recognition and slot filling (the capabilities the paper
+// assumes of the underlying dialog system), an objective search API over the
+// Yelp world (the paper's TripAdvisor/Yelp role), and the filtering &
+// ranking of Algorithm 1 with the §3.3 aggregation strategies.
+package search
+
+import (
+	"sort"
+	"strings"
+
+	"saccs/internal/index"
+	"saccs/internal/yelp"
+)
+
+// Intent is the dialog system's reading of an utterance: intent name plus
+// objective slots (§3's intent recognition + slot filling).
+type Intent struct {
+	Name  string
+	Slots map[string]string
+}
+
+// Slot names the shim can fill.
+const (
+	SlotCuisine  = "cuisine"
+	SlotLocation = "location"
+)
+
+var cuisines = []string{"italian", "french", "japanese", "mexican", "indian", "chinese"}
+
+var locations = []string{"montreal", "melbourne", "lyon", "paris", "toronto", "sydney"}
+
+// ParseUtterance runs the lightweight intent recognizer and slot filler. Any
+// utterance asking for a place to eat maps to the searchRestaurant intent;
+// cuisine and location slots are keyword-filled.
+func ParseUtterance(utterance string) Intent {
+	low := strings.ToLower(utterance)
+	in := Intent{Name: "searchRestaurant", Slots: map[string]string{}}
+	for _, c := range cuisines {
+		if strings.Contains(low, c) {
+			in.Slots[SlotCuisine] = c
+			break
+		}
+	}
+	for _, l := range locations {
+		if strings.Contains(low, l) {
+			in.Slots[SlotLocation] = l
+			break
+		}
+	}
+	return in
+}
+
+// API is the objective search service of §3.2: it answers slot-filtered
+// queries with entity ids, ignoring every subjective signal — exactly the
+// S_api the paper re-filters.
+type API struct {
+	World *yelp.World
+}
+
+// Search returns the ids of entities matching the objective slots.
+func (a *API) Search(slots map[string]string) []string {
+	var out []string
+	for _, e := range a.World.Entities {
+		if c, ok := slots[SlotCuisine]; ok && !strings.EqualFold(e.Cuisine, c) {
+			continue
+		}
+		if l, ok := slots[SlotLocation]; ok && !strings.EqualFold(e.City, l) {
+			continue
+		}
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// Aggregation selects how degrees of truth combine across tags (§3.3).
+type Aggregation int
+
+// The §3.3 strategies: arithmetic mean (the paper's choice), product, min.
+const (
+	MeanAgg Aggregation = iota
+	ProductAgg
+	MinAgg
+)
+
+// Scored is one ranked entity.
+type Scored struct {
+	EntityID string
+	Score    float64
+}
+
+// Ranker implements Algorithm 1 over a subjective tag index.
+type Ranker struct {
+	Index *index.Index
+	// ThetaFilter is the θ_filter similarity threshold of Algorithm 1.
+	ThetaFilter float64
+	// Agg is the cross-tag aggregation (§3.3; mean works best).
+	Agg Aggregation
+}
+
+// Rank executes lines 6–12 of Algorithm 1: resolve each subjective tag to a
+// scored entity set (exact hit or similar-tag union), intersect with the
+// API's objective result set, aggregate per-entity scores across tags, and
+// sort descending. When the strict intersection across all tags is empty,
+// it relaxes to entities matched by at least one tag (still within S_api) so
+// the user gets best-effort results instead of nothing.
+func (r *Ranker) Rank(apiResults []string, tags []string) []Scored {
+	inAPI := make(map[string]bool, len(apiResults))
+	for _, id := range apiResults {
+		inAPI[id] = true
+	}
+	if len(tags) == 0 {
+		out := make([]Scored, 0, len(apiResults))
+		for _, id := range apiResults {
+			out = append(out, Scored{EntityID: id})
+		}
+		return out
+	}
+
+	// S_t per tag, restricted to S_api.
+	perTag := make([]map[string]float64, len(tags))
+	for i, tag := range tags {
+		m := map[string]float64{}
+		for _, entry := range r.Index.Resolve(tag, r.ThetaFilter) {
+			if inAPI[entry.EntityID] {
+				m[entry.EntityID] = entry.Degree
+			}
+		}
+		perTag[i] = m
+	}
+
+	// Strict intersection (line 11) ranks first; entities covering fewer
+	// tags follow, ordered by coverage then score, and untagged API results
+	// fill the tail. The fill keeps Algorithm 1's ordering at the top while
+	// guaranteeing a full top-k answer when the intersection is small.
+	counts := map[string]int{}
+	for _, m := range perTag {
+		for id := range m {
+			counts[id]++
+		}
+	}
+	out := make([]Scored, 0, len(apiResults))
+	seen := map[string]bool{}
+	for id, n := range counts {
+		_ = n
+		out = append(out, Scored{EntityID: id, Score: r.aggregate(perTag, id)})
+		seen[id] = true
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := counts[out[i].EntityID], counts[out[j].EntityID]
+		if ci != cj {
+			return ci > cj
+		}
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].EntityID < out[j].EntityID
+	})
+	for _, id := range apiResults {
+		if !seen[id] {
+			out = append(out, Scored{EntityID: id})
+		}
+	}
+	return out
+}
+
+// aggregate computes the §3.3 cross-tag score for one entity. Missing tags
+// contribute zero (mean), or collapse the score (product/min) — which is why
+// the mean behaves best once the intersection is relaxed.
+func (r *Ranker) aggregate(perTag []map[string]float64, id string) float64 {
+	switch r.Agg {
+	case ProductAgg:
+		p := 1.0
+		for _, m := range perTag {
+			p *= m[id]
+		}
+		return p
+	case MinAgg:
+		minV := -1.0
+		for _, m := range perTag {
+			v := m[id]
+			if minV < 0 || v < minV {
+				minV = v
+			}
+		}
+		if minV < 0 {
+			return 0
+		}
+		return minV
+	default:
+		var s float64
+		for _, m := range perTag {
+			s += m[id]
+		}
+		return s / float64(len(perTag))
+	}
+}
+
+// RankedIDs projects a scored list onto entity ids.
+func RankedIDs(scored []Scored) []string {
+	out := make([]string, len(scored))
+	for i, s := range scored {
+		out[i] = s.EntityID
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package search
+
+import (
+	"testing"
+
+	"saccs/internal/index"
+	"saccs/internal/sim"
+	"saccs/internal/yelp"
+)
+
+func TestParseUtterance(t *testing.T) {
+	in := ParseUtterance("I want an Italian restaurant in Melbourne that serves delicious food")
+	if in.Name != "searchRestaurant" {
+		t.Fatalf("intent: %s", in.Name)
+	}
+	if in.Slots[SlotCuisine] != "italian" || in.Slots[SlotLocation] != "melbourne" {
+		t.Fatalf("slots: %v", in.Slots)
+	}
+	in2 := ParseUtterance("somewhere romantic please")
+	if len(in2.Slots) != 0 {
+		t.Fatalf("no slots expected: %v", in2.Slots)
+	}
+}
+
+func TestAPISearchFilters(t *testing.T) {
+	w := yelp.Generate(yelp.FastConfig())
+	api := &API{World: w}
+	all := api.Search(map[string]string{})
+	if len(all) != len(w.Entities) {
+		t.Fatalf("unfiltered search: %d", len(all))
+	}
+	match := api.Search(map[string]string{SlotCuisine: "italian", SlotLocation: "montreal"})
+	if len(match) != len(w.Entities) {
+		t.Fatalf("world is all-Italian-Montreal; got %d", len(match))
+	}
+	none := api.Search(map[string]string{SlotCuisine: "french"})
+	if len(none) != 0 {
+		t.Fatalf("french search must be empty: %d", len(none))
+	}
+}
+
+func buildIndex() *index.Index {
+	ix := index.New(sim.NewConceptual(), 0.55)
+	es := []index.EntityReviews{
+		{EntityID: "vue", ReviewCount: 10, Tags: []string{"good food", "good food", "tasty food", "friendly staff", "friendly staff"}},
+		{EntityID: "hut", ReviewCount: 4, Tags: []string{"good food", "rude staff"}},
+		{EntityID: "anchovy", ReviewCount: 6, Tags: []string{"creative cooking", "creative cooking", "creative cooking"}},
+	}
+	ix.Build([]string{"good food", "nice staff", "creative cooking"}, es)
+	return ix
+}
+
+func TestRankSingleTag(t *testing.T) {
+	r := &Ranker{Index: buildIndex(), ThetaFilter: 0.5}
+	got := r.Rank([]string{"vue", "hut", "anchovy"}, []string{"good food"})
+	if len(got) < 2 {
+		t.Fatalf("rank: %v", got)
+	}
+	if got[0].EntityID != "vue" {
+		t.Fatalf("vue must rank first (more reviews): %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+func TestRankIntersectsWithAPI(t *testing.T) {
+	r := &Ranker{Index: buildIndex(), ThetaFilter: 0.5}
+	got := r.Rank([]string{"hut"}, []string{"good food"})
+	for _, s := range got {
+		if s.EntityID != "hut" {
+			t.Fatalf("entity outside S_api leaked: %v", got)
+		}
+	}
+}
+
+func TestRankMultiTagIntersection(t *testing.T) {
+	r := &Ranker{Index: buildIndex(), ThetaFilter: 0.5}
+	got := r.Rank([]string{"vue", "hut", "anchovy"}, []string{"good food", "nice staff"})
+	if len(got) == 0 {
+		t.Fatal("empty result")
+	}
+	// vue matches both tags; hut matches food but its staff is rude.
+	if got[0].EntityID != "vue" {
+		t.Fatalf("vue must win the intersection: %v", got)
+	}
+}
+
+func TestRankRelaxationWhenIntersectionEmpty(t *testing.T) {
+	r := &Ranker{Index: buildIndex(), ThetaFilter: 0.5}
+	// anchovy only matches creative cooking; no entity matches both tags
+	// with exact postings (staff tag excludes anchovy).
+	got := r.Rank([]string{"anchovy"}, []string{"creative cooking", "nice staff"})
+	if len(got) == 0 {
+		t.Fatal("relaxation must return partial matches instead of nothing")
+	}
+}
+
+func TestRankNoTags(t *testing.T) {
+	r := &Ranker{Index: buildIndex(), ThetaFilter: 0.5}
+	got := r.Rank([]string{"a", "b"}, nil)
+	if len(got) != 2 {
+		t.Fatalf("no-tag rank must pass API results through: %v", got)
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	ix := buildIndex()
+	mean := &Ranker{Index: ix, ThetaFilter: 0.5, Agg: MeanAgg}
+	prod := &Ranker{Index: ix, ThetaFilter: 0.5, Agg: ProductAgg}
+	minr := &Ranker{Index: ix, ThetaFilter: 0.5, Agg: MinAgg}
+	api := []string{"vue", "hut", "anchovy"}
+	tags := []string{"good food", "nice staff"}
+	for _, r := range []*Ranker{mean, prod, minr} {
+		got := r.Rank(api, tags)
+		if len(got) == 0 {
+			t.Fatalf("agg %v produced nothing", r.Agg)
+		}
+		if got[0].EntityID != "vue" {
+			t.Fatalf("agg %v: vue must still win: %v", r.Agg, got)
+		}
+	}
+	// Anchovy matches creative cooking but not nice staff: the product
+	// collapses to zero while the mean keeps the partial evidence.
+	partial := []string{"creative cooking", "nice staff"}
+	gotMean := mean.Rank([]string{"anchovy"}, partial)
+	gotProd := prod.Rank([]string{"anchovy"}, partial)
+	if len(gotMean) == 0 || len(gotProd) == 0 {
+		t.Fatal("rankers must relax")
+	}
+	if gotProd[0].Score != 0 {
+		t.Fatalf("product with missing tag must be 0: %v", gotProd)
+	}
+	if gotMean[0].Score <= 0 {
+		t.Fatalf("mean with one matching tag must be positive: %v", gotMean)
+	}
+}
+
+func TestRankedIDs(t *testing.T) {
+	ids := RankedIDs([]Scored{{EntityID: "a"}, {EntityID: "b"}})
+	if len(ids) != 2 || ids[0] != "a" {
+		t.Fatalf("RankedIDs: %v", ids)
+	}
+}
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	r := &Ranker{Index: buildIndex(), ThetaFilter: 0.5}
+	a := r.Rank([]string{"vue", "hut", "anchovy"}, []string{"good food"})
+	b := r.Rank([]string{"anchovy", "hut", "vue"}, []string{"good food"})
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ordering depends on API order: %v vs %v", a, b)
+		}
+	}
+}

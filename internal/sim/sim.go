@@ -1,0 +1,185 @@
+// Package sim implements the phrase similarity of §3.1: conceptual
+// similarity, which besides surface identity considers the nature of words
+// through an IS-A taxonomy ("amazing pizza" matches "good food" because pizza
+// is a kind of food), and a plain embedding-cosine measure used as the
+// ablation baseline the paper says works worse on short subjective tags.
+package sim
+
+import (
+	"strings"
+
+	"saccs/internal/lexicon"
+	"saccs/internal/mat"
+)
+
+// Measure scores the similarity of two short phrases in [0, 1].
+type Measure interface {
+	Phrase(a, b string) float64
+}
+
+// stopwords are ignored when aligning phrase words.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "is": true, "are": true,
+	"and": true, "with": true, "very": true, "really": true,
+}
+
+func contentWords(phrase string) []string {
+	var out []string
+	for _, w := range strings.Fields(strings.ToLower(phrase)) {
+		if !stopwords[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Conceptual is the taxonomy-backed similarity: each word of one phrase is
+// greedily aligned to its best conceptual match in the other (exact match 1,
+// otherwise Wu–Palmer over the IS-A graph), and the two directions are
+// averaged.
+type Conceptual struct {
+	Tax      *lexicon.Taxonomy
+	polarity map[string]int
+}
+
+// NewConceptual returns a Conceptual measure over the built-in taxonomy and
+// polarity lexicon.
+func NewConceptual() *Conceptual {
+	return &Conceptual{Tax: lexicon.DefaultTaxonomy(), polarity: lexicon.PolarityLexicon()}
+}
+
+// polarityPenalty scales the similarity of phrases with opposite sentiment
+// polarity ("not delicious food" vs "delicious food").
+const polarityPenalty = 0.1
+
+// Phrase scores two phrases in [0, 1]. Phrases whose sentiment polarities
+// conflict (one positive, one negative — negation counts) are heavily
+// penalized: a tag extracted from "the food was not delicious" must not
+// strengthen the index entry for "delicious food".
+func (c *Conceptual) Phrase(a, b string) float64 {
+	s, conflict := c.Base(a, b)
+	if conflict {
+		s *= polarityPenalty
+	}
+	return s
+}
+
+// Base returns the polarity-blind conceptual similarity and whether the two
+// phrases' sentiment polarities conflict. The subjective tag index uses the
+// conflict signal to let contradicting mentions ("bland food") lower an
+// entity's degree of truth for the contradicted tag ("delicious food").
+func (c *Conceptual) Base(a, b string) (float64, bool) {
+	wa, wb := contentWords(a), contentWords(b)
+	if len(wa) == 0 || len(wb) == 0 {
+		if strings.EqualFold(strings.TrimSpace(a), strings.TrimSpace(b)) && strings.TrimSpace(a) != "" {
+			return 1, false
+		}
+		return 0, false
+	}
+	s := (c.directional(wa, wb) + c.directional(wb, wa)) / 2
+	pa, pb := c.Polarity(a), c.Polarity(b)
+	return s, pa*pb < 0
+}
+
+// Polarity returns +1, −1 or 0 for a phrase's sentiment orientation, using
+// the taxonomy's positive/negative ancestors; a preceding "not"/"no"/"never"
+// flips the next sentiment word.
+func (c *Conceptual) Polarity(phrase string) int {
+	neg := false
+	total := 0
+	for _, w := range strings.Fields(strings.ToLower(phrase)) {
+		if w == "not" || w == "no" || w == "never" {
+			neg = !neg
+			continue
+		}
+		p := c.wordPolarity(w)
+		if p == 0 {
+			continue
+		}
+		if neg {
+			p = -p
+			neg = false
+		}
+		total += p
+	}
+	switch {
+	case total > 0:
+		return 1
+	case total < 0:
+		return -1
+	}
+	return 0
+}
+
+func (c *Conceptual) wordPolarity(w string) int {
+	if c.polarity != nil {
+		if p, ok := c.polarity[w]; ok {
+			return p
+		}
+	}
+	for _, a := range c.Tax.Ancestors(w) {
+		switch a {
+		case "positive":
+			return 1
+		case "negative":
+			return -1
+		}
+	}
+	return 0
+}
+
+func (c *Conceptual) directional(from, to []string) float64 {
+	var total float64
+	for _, w := range from {
+		best := 0.0
+		for _, v := range to {
+			s := c.word(w, v)
+			if s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(from))
+}
+
+func (c *Conceptual) word(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return c.Tax.WuPalmer(a, b)
+}
+
+// VecProvider supplies a phrase embedding; MiniBERT's SentenceVec satisfies
+// it.
+type VecProvider interface {
+	SentenceVec(tokens []string) mat.Vec
+}
+
+// Cosine scores phrases by cosine over provider embeddings — the plain
+// measure the paper reports as weaker on short tags (§3.1 footnote 2).
+type Cosine struct {
+	Provider VecProvider
+}
+
+// Phrase returns the embedding cosine clamped to [0, 1].
+func (c *Cosine) Phrase(a, b string) float64 {
+	va := c.Provider.SentenceVec(strings.Fields(strings.ToLower(a)))
+	vb := c.Provider.SentenceVec(strings.Fields(strings.ToLower(b)))
+	s := mat.Cosine(va, vb)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Blend mixes two measures with weight w on the first.
+type Blend struct {
+	A, B Measure
+	W    float64
+}
+
+// Phrase returns w·A + (1−w)·B.
+func (b *Blend) Phrase(x, y string) float64 {
+	return b.W*b.A.Phrase(x, y) + (1-b.W)*b.B.Phrase(x, y)
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+
+	"saccs/internal/mat"
+)
+
+func TestConceptualIdentity(t *testing.T) {
+	c := NewConceptual()
+	for _, tag := range []string{"delicious food", "nice staff", "romantic ambiance"} {
+		if got := c.Phrase(tag, tag); got != 1 {
+			t.Fatalf("Phrase(%q, %q) = %v, want 1", tag, tag, got)
+		}
+	}
+}
+
+func TestConceptualSymmetry(t *testing.T) {
+	c := NewConceptual()
+	pairs := [][2]string{
+		{"delicious food", "good food"},
+		{"amazing pizza", "good food"},
+		{"quick service", "nice staff"},
+	}
+	for _, p := range pairs {
+		ab, ba := c.Phrase(p[0], p[1]), c.Phrase(p[1], p[0])
+		if ab != ba {
+			t.Fatalf("asymmetric: %v vs %v for %v", ab, ba, p)
+		}
+		if ab < 0 || ab > 1 {
+			t.Fatalf("out of range: %v", ab)
+		}
+	}
+}
+
+func TestConceptualPizzaIsFood(t *testing.T) {
+	// The §3.1 example: "amazing pizza" must match "good food" well enough
+	// to be indexed under it, and far better than an unrelated tag.
+	c := NewConceptual()
+	pizzaFood := c.Phrase("amazing pizza", "good food")
+	pizzaStaff := c.Phrase("amazing pizza", "nice staff")
+	if pizzaFood <= pizzaStaff {
+		t.Fatalf("conceptual similarity failed: pizza/food=%v pizza/staff=%v", pizzaFood, pizzaStaff)
+	}
+	if pizzaFood < 0.4 {
+		t.Fatalf("pizza/food too low: %v", pizzaFood)
+	}
+}
+
+func TestConceptualSynonymOpinions(t *testing.T) {
+	c := NewConceptual()
+	deliciousGood := c.Phrase("delicious food", "tasty food")
+	deliciousSlow := c.Phrase("delicious food", "slow service")
+	if deliciousGood <= deliciousSlow {
+		t.Fatalf("synonym opinions must score higher: %v vs %v", deliciousGood, deliciousSlow)
+	}
+}
+
+func TestConceptualStopwordsIgnored(t *testing.T) {
+	c := NewConceptual()
+	if c.Phrase("the delicious food", "delicious food") != 1 {
+		t.Fatal("stopwords must not lower similarity")
+	}
+}
+
+func TestConceptualEmptyPhrases(t *testing.T) {
+	c := NewConceptual()
+	if got := c.Phrase("", ""); got != 0 {
+		t.Fatalf("empty phrases: %v", got)
+	}
+	if got := c.Phrase("the", "the"); got != 1 {
+		t.Fatalf("identical stopword-only phrases: %v", got)
+	}
+	if got := c.Phrase("the", "a"); got != 0 {
+		t.Fatalf("distinct stopword-only phrases: %v", got)
+	}
+	if got := c.Phrase("delicious food", ""); got != 0 {
+		t.Fatalf("one empty: %v", got)
+	}
+}
+
+// fakeProvider embeds phrases by word identity hash for testing Cosine.
+type fakeProvider struct{}
+
+func (fakeProvider) SentenceVec(tokens []string) mat.Vec {
+	v := mat.NewVec(8)
+	for _, tok := range tokens {
+		h := 0
+		for _, r := range tok {
+			h = h*31 + int(r)
+		}
+		if h < 0 {
+			h = -h
+		}
+		v[h%8] += 1
+	}
+	return v
+}
+
+func TestCosineMeasure(t *testing.T) {
+	c := &Cosine{Provider: fakeProvider{}}
+	if got := c.Phrase("delicious food", "delicious food"); got < 0.999 {
+		t.Fatalf("identical phrases: %v", got)
+	}
+	got := c.Phrase("delicious food", "slow service")
+	if got < 0 || got > 1 {
+		t.Fatalf("out of range: %v", got)
+	}
+}
+
+func TestBlend(t *testing.T) {
+	c := NewConceptual()
+	e := &Cosine{Provider: fakeProvider{}}
+	b := &Blend{A: c, B: e, W: 0.7}
+	got := b.Phrase("delicious food", "delicious food")
+	if got < 0.999 {
+		t.Fatalf("blend of identical: %v", got)
+	}
+	want := 0.7*c.Phrase("delicious food", "tasty food") + 0.3*e.Phrase("delicious food", "tasty food")
+	if diff := b.Phrase("delicious food", "tasty food") - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("blend math wrong: %v", diff)
+	}
+}
+
+func TestPolarity(t *testing.T) {
+	c := NewConceptual()
+	if got := c.Polarity("delicious food"); got != 1 {
+		t.Fatalf("positive phrase: %d", got)
+	}
+	if got := c.Polarity("bland food"); got != -1 {
+		t.Fatalf("negative phrase: %d", got)
+	}
+	if got := c.Polarity("not delicious food"); got != -1 {
+		t.Fatalf("negated positive: %d", got)
+	}
+	if got := c.Polarity("not bland food"); got != 1 {
+		t.Fatalf("negated negative: %d", got)
+	}
+	if got := c.Polarity("the food"); got != 0 {
+		t.Fatalf("neutral phrase: %d", got)
+	}
+}
+
+func TestNegationPenalized(t *testing.T) {
+	c := NewConceptual()
+	same := c.Phrase("delicious food", "tasty food")
+	negated := c.Phrase("delicious food", "not delicious food")
+	opposite := c.Phrase("delicious food", "bland food")
+	if negated >= same || opposite >= same {
+		t.Fatalf("polarity conflict must be penalized: same=%v negated=%v opposite=%v", same, negated, opposite)
+	}
+	if negated > 0.2 {
+		t.Fatalf("negated tag still too similar: %v", negated)
+	}
+}

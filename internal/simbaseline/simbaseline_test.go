@@ -1,0 +1,96 @@
+package simbaseline
+
+import (
+	"testing"
+
+	"saccs/internal/crowd"
+	"saccs/internal/yelp"
+)
+
+func world() *yelp.World { return yelp.Generate(yelp.FastConfig()) }
+
+func TestEnumerateCounts(t *testing.T) {
+	vals := yelp.AttributeValues()
+	single := 0
+	for _, vs := range vals {
+		single += len(vs)
+	}
+	one := enumerate(1)
+	if len(one) != 1+single {
+		t.Fatalf("1-attr combos: %d, want %d", len(one), 1+single)
+	}
+	two := enumerate(2)
+	if len(two) <= len(one) {
+		t.Fatal("2-attr enumeration must add combos")
+	}
+	// No combo may repeat an attribute.
+	for _, combo := range two {
+		seen := map[string]bool{}
+		for _, f := range combo {
+			if seen[f.Attr] {
+				t.Fatalf("attribute repeated in combo: %v", combo)
+			}
+			seen[f.Attr] = true
+		}
+	}
+}
+
+func TestRankByStarsFilters(t *testing.T) {
+	w := world()
+	all := rankByStars(w, nil)
+	if len(all) != len(w.Entities) {
+		t.Fatalf("unfiltered: %d", len(all))
+	}
+	quiet := rankByStars(w, []Filter{{yelp.AttrNoiseLevel, "quiet"}})
+	for _, id := range quiet {
+		if w.Entity(id).Attrs[yelp.AttrNoiseLevel] != "quiet" {
+			t.Fatal("filter leak")
+		}
+	}
+	// Sorted by stars descending.
+	for i := 1; i < len(all); i++ {
+		if w.Entity(all[i]).Stars > w.Entity(all[i-1]).Stars {
+			t.Fatal("not sorted by stars")
+		}
+	}
+}
+
+func TestBestPicksMaximizingCombo(t *testing.T) {
+	w := world()
+	truth := crowd.GroundTruth(w, crowd.DefaultConfig())
+	gains := truth.Gains([]string{"quiet atmosphere"}, entityIDs(w))
+	one := Best(w, gains, 10, 1)
+	two := Best(w, gains, 10, 2)
+	if one.NDCG < 0 || one.NDCG > 1 {
+		t.Fatalf("NDCG out of range: %v", one.NDCG)
+	}
+	// Searching a larger combination space can never do worse: it includes
+	// all smaller combos.
+	if two.NDCG < one.NDCG {
+		t.Fatalf("2-attr best (%v) must be >= 1-attr best (%v)", two.NDCG, one.NDCG)
+	}
+	if len(two.Filters) > 2 {
+		t.Fatalf("combo too large: %v", two.Filters)
+	}
+}
+
+func TestBestBeatsRandomOrderOnCorrelatedTag(t *testing.T) {
+	// For the quiet-atmosphere tag the NoiseLevel filter is informative:
+	// SIM should beat the unfiltered star ranking.
+	w := world()
+	truth := crowd.GroundTruth(w, crowd.DefaultConfig())
+	gains := truth.Gains([]string{"quiet atmosphere"}, entityIDs(w))
+	stars := Best(w, gains, 10, 0) // only the unfiltered combo
+	best := Best(w, gains, 10, 2)
+	if best.NDCG < stars.NDCG {
+		t.Fatalf("attribute filtering must not hurt: %v vs %v", best.NDCG, stars.NDCG)
+	}
+}
+
+func entityIDs(w *yelp.World) []string {
+	out := make([]string, len(w.Entities))
+	for i, e := range w.Entities {
+		out[i] = e.ID
+	}
+	return out
+}

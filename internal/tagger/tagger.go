@@ -1,0 +1,392 @@
+// Package tagger implements the SACCS extractor of §4: the token tagging
+// model that labels each word of a sentence as B-AS/I-AS/B-OP/I-OP/O.
+//
+//   - Model is the paper's architecture (Fig. 3): frozen BERT contextual
+//     embeddings → dropout → BiLSTM → linear projection → linear-chain CRF,
+//     decoded with Viterbi (§4.1).
+//   - Adversarial training (Fig. 4, §4.3) mixes the clean loss with a loss
+//     on FGSM-perturbed embeddings: Min_θ [α·l(h(x),y) + (1−α)·l(h(x+δ*),y)]
+//     with δ* = ε·sign(∇δ l) on the l∞ ball (Eq. 6–9).
+//   - OpineDB is the baseline of §6.3 / Table 4 [31]: the same frozen BERT
+//     embeddings with a per-token softmax classifier and no CRF.
+//
+// Domain adaptation (§4.2) happens upstream: pass an encoder post-trained on
+// domain reviews (bert.Model.TrainMLM) to either constructor.
+package tagger
+
+import (
+	"math/rand"
+
+	"saccs/internal/datasets"
+	"saccs/internal/mat"
+	"saccs/internal/metrics"
+	"saccs/internal/nn"
+	"saccs/internal/tokenize"
+)
+
+// Encoder supplies frozen contextual embeddings; *bert.Model satisfies it.
+type Encoder interface {
+	EncodeTokens(tokens []string) []mat.Vec
+	EmbeddingDim() int
+}
+
+// TrainableEncoder is an encoder the tagger can fine-tune end-to-end;
+// *bert.Model satisfies it. Fine-tuning on the tagging task is what makes
+// BERT's attention heads align aspects with opinions (§5.1: "we have it
+// already trained on aspect/opinion extraction").
+type TrainableEncoder interface {
+	Encoder
+	Backward(dhs []mat.Vec) []mat.Vec
+	EncoderParams() []*nn.Param
+}
+
+// Config tunes tagger training.
+type Config struct {
+	// Hidden is the BiLSTM hidden size per direction.
+	Hidden int
+	// LR is the Adam learning rate.
+	LR float64
+	// Epochs over the training set (paper: 15).
+	Epochs int
+	// Dropout probability on the encoder outputs.
+	Dropout float64
+	// ClipNorm bounds the global gradient norm.
+	ClipNorm float64
+	// Adversarial enables FGSM training (§4.3).
+	Adversarial bool
+	// Epsilon is the l∞ perturbation radius ε (Table 4 sweeps
+	// {0.1, 0.2, 0.5, 1.0, 2.0}).
+	Epsilon float64
+	// Alpha weighs the clean loss against the adversarial loss (paper: 0.5).
+	Alpha float64
+	// FineTuneEncoder backpropagates the tagging loss into the encoder when
+	// it is trainable (§5.1's prerequisite for the attention pairing
+	// heuristic). With Adversarial set, only the clean branch updates the
+	// encoder — the FGSM input is a synthetic embedding the encoder never
+	// produced.
+	FineTuneEncoder bool
+	// EncoderLR is the encoder's learning rate during fine-tuning
+	// (default LR/10, the usual BERT-fine-tuning convention).
+	EncoderLR float64
+	// Seed drives parameter init and dropout.
+	Seed int64
+}
+
+// DefaultConfig returns the training recipe used across the reproduction.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:   32,
+		LR:       2e-3,
+		Epochs:   5,
+		Dropout:  0.1,
+		ClipNorm: 5,
+		Alpha:    0.5,
+		Seed:     1,
+	}
+}
+
+// Model is the SACCS tagging architecture of Fig. 3.
+type Model struct {
+	enc    Encoder
+	drop   *nn.Dropout
+	bilstm *nn.BiLSTM
+	proj   *nn.Linear
+	crf    *nn.CRF
+	cfg    Config
+}
+
+// New builds an untrained tagger over a (frozen) encoder.
+func New(enc Encoder, cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		enc:    enc,
+		drop:   nn.NewDropout(rng, cfg.Dropout),
+		bilstm: nn.NewBiLSTM(rng, "tagger.bilstm", enc.EmbeddingDim(), cfg.Hidden),
+		cfg:    cfg,
+	}
+	m.proj = nn.NewLinear(rng, "tagger.proj", m.bilstm.OutDim(), int(tokenize.NumLabels))
+	m.crf = nn.NewCRF(rng, "tagger.crf", int(tokenize.NumLabels))
+	m.crf.SetConstraints(
+		func(a, b int) bool { return tokenize.ValidTransition(tokenize.Label(a), tokenize.Label(b)) },
+		func(l int) bool { return tokenize.ValidStart(tokenize.Label(l)) },
+	)
+	return m
+}
+
+// Params returns the trainable tensors (the encoder stays frozen).
+func (m *Model) Params() []*nn.Param {
+	ps := m.bilstm.Params()
+	ps = append(ps, m.proj.Params()...)
+	return append(ps, m.crf.Params()...)
+}
+
+// forwardLoss runs embeddings → BiLSTM → proj → CRF, accumulates parameter
+// gradients, and returns (loss, gradient w.r.t. the embeddings). The clean
+// and adversarial branches are mixed by the caller via gradient snapshots.
+func (m *Model) forwardLoss(embeds []mat.Vec, gold []int) (float64, []mat.Vec) {
+	dropped := make([]mat.Vec, len(embeds))
+	masks := make([][]bool, len(embeds))
+	for i, e := range embeds {
+		dropped[i], masks[i] = m.drop.Forward(e)
+	}
+	hs, cache := m.bilstm.Forward(dropped)
+	emissions := m.proj.ForwardSeq(hs)
+	loss, dE := m.crf.NLL(emissions, gold)
+	dHs := m.proj.BackwardSeq(hs, dE)
+	dDropped := m.bilstm.Backward(cache, dHs)
+	dEmbeds := make([]mat.Vec, len(embeds))
+	for i := range dDropped {
+		dEmbeds[i] = m.drop.Backward(dDropped[i], masks[i])
+	}
+	return loss, dEmbeds
+}
+
+// trainStep processes one example, with or without the adversarial branch,
+// and applies the optimizer. When encBack is non-nil it receives the
+// combined gradient with respect to the input embeddings so the caller can
+// fine-tune the encoder.
+func (m *Model) trainStep(opt nn.Optimizer, embeds []mat.Vec, gold []int, encBack func([]mat.Vec)) float64 {
+	params := m.Params()
+	if !m.cfg.Adversarial {
+		nn.ZeroGrads(params)
+		loss, dEmbeds := m.forwardLoss(embeds, gold)
+		nn.ClipGrads(params, m.cfg.ClipNorm)
+		opt.Step(params)
+		if encBack != nil {
+			encBack(dEmbeds)
+		}
+		return loss
+	}
+	alpha := m.cfg.Alpha
+	// Clean pass: also yields ∇x l for the FGSM direction (Eq. 9's g).
+	nn.ZeroGrads(params)
+	cleanLoss, dEmbeds := m.forwardLoss(embeds, gold)
+	cleanGrads := snapshotGrads(params)
+
+	// Adversarial example: x + ε·sign(g) (Eq. 7–9).
+	delta := nn.FGSMSeq(dEmbeds, m.cfg.Epsilon)
+	adv := make([]mat.Vec, len(embeds))
+	for i, e := range embeds {
+		v := e.Clone()
+		v.Add(delta[i])
+		adv[i] = v
+	}
+	nn.ZeroGrads(params)
+	advLoss, dEmbedsAdv := m.forwardLoss(adv, gold)
+
+	// Combine: grad = α·clean + (1−α)·adv (Eq. 8).
+	for pi, p := range params {
+		for i := range p.G.Data {
+			p.G.Data[i] = alpha*cleanGrads[pi][i] + (1-alpha)*p.G.Data[i]
+		}
+	}
+	nn.ClipGrads(params, m.cfg.ClipNorm)
+	opt.Step(params)
+	if encBack != nil {
+		// δ* is a constant w.r.t. x, so the adversarial branch's embedding
+		// gradient flows straight through x + δ*.
+		combined := make([]mat.Vec, len(dEmbeds))
+		for i := range dEmbeds {
+			v := dEmbeds[i].Clone()
+			v.Scale(alpha)
+			v.AddScaled(1-alpha, dEmbedsAdv[i])
+			combined[i] = v
+		}
+		encBack(combined)
+	}
+	return alpha*cleanLoss + (1-alpha)*advLoss
+}
+
+func snapshotGrads(params []*nn.Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.G.Data...)
+	}
+	return out
+}
+
+// Train fits the tagger on the examples and returns the mean loss of the
+// final epoch. With a frozen encoder its embeddings are computed once and
+// cached; with FineTuneEncoder they are recomputed per step and the tagging
+// loss flows back into the encoder at EncoderLR.
+func (m *Model) Train(examples []datasets.Example) float64 {
+	opt := nn.NewAdam(m.cfg.LR)
+	m.drop.Train = true
+
+	te, ok := m.enc.(TrainableEncoder)
+	fineTune := ok && m.cfg.FineTuneEncoder
+	var encOpt nn.Optimizer
+	var encParams []*nn.Param
+	if fineTune {
+		lr := m.cfg.EncoderLR
+		if lr == 0 {
+			lr = m.cfg.LR / 10
+		}
+		encOpt = nn.NewAdam(lr)
+		encParams = te.EncoderParams()
+	}
+
+	var cached [][]mat.Vec
+	golds := make([][]int, len(examples))
+	if !fineTune {
+		cached = make([][]mat.Vec, len(examples))
+		for i, ex := range examples {
+			cached[i] = m.enc.EncodeTokens(ex.Tokens)
+			golds[i] = goldIDs(ex.Labels, len(cached[i]))
+		}
+	}
+
+	var last float64
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	shuffle := rand.New(rand.NewSource(m.cfg.Seed + 7))
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		shuffle.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		var n int
+		for _, idx := range order {
+			var embeds []mat.Vec
+			var gold []int
+			if fineTune {
+				embeds = m.enc.EncodeTokens(examples[idx].Tokens)
+				gold = goldIDs(examples[idx].Labels, len(embeds))
+			} else {
+				embeds, gold = cached[idx], golds[idx]
+			}
+			if len(embeds) == 0 {
+				continue
+			}
+			var encBack func([]mat.Vec)
+			if fineTune {
+				encBack = func(dEmbeds []mat.Vec) {
+					nn.ZeroGrads(encParams)
+					te.Backward(dEmbeds)
+					nn.ClipGrads(encParams, m.cfg.ClipNorm)
+					encOpt.Step(encParams)
+				}
+			}
+			total += m.trainStep(opt, embeds, gold, encBack)
+			n++
+		}
+		if n > 0 {
+			last = total / float64(n)
+		}
+	}
+	m.drop.Train = false
+	return last
+}
+
+func goldIDs(labels []tokenize.Label, n int) []int {
+	if n > len(labels) {
+		n = len(labels)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = int(labels[i])
+	}
+	return out
+}
+
+// Predict tags a sentence with Viterbi decoding. Tokens beyond the encoder's
+// window fall back to O.
+func (m *Model) Predict(tokens []string) []tokenize.Label {
+	m.drop.Train = false
+	embeds := m.enc.EncodeTokens(tokens)
+	if len(embeds) == 0 {
+		return make([]tokenize.Label, len(tokens))
+	}
+	hs, _ := m.bilstm.Forward(embeds)
+	emissions := m.proj.ForwardSeq(hs)
+	path := m.crf.Decode(emissions)
+	out := make([]tokenize.Label, len(tokens))
+	for i, l := range path {
+		out[i] = tokenize.Label(l)
+	}
+	return out
+}
+
+// Evaluate computes exact-match chunk P/R/F1 on a test set (§6.3).
+func (m *Model) Evaluate(test []datasets.Example) metrics.PRF {
+	gold := make([][]tokenize.Label, len(test))
+	pred := make([][]tokenize.Label, len(test))
+	for i, ex := range test {
+		gold[i] = ex.Labels
+		pred[i] = m.Predict(ex.Tokens)
+	}
+	return metrics.ChunkPRF(gold, pred)
+}
+
+// OpineDB is the §6.3 baseline tagger [31]: frozen BERT embeddings with a
+// per-token softmax classifier (no BiLSTM, no CRF, no adversarial branch).
+type OpineDB struct {
+	enc  Encoder
+	proj *nn.Linear
+	cfg  Config
+}
+
+// NewOpineDB builds the baseline over a (frozen) encoder.
+func NewOpineDB(enc Encoder, cfg Config) *OpineDB {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &OpineDB{
+		enc:  enc,
+		proj: nn.NewLinear(rng, "opinedb.proj", enc.EmbeddingDim(), int(tokenize.NumLabels)),
+		cfg:  cfg,
+	}
+}
+
+// Train fits the classifier and returns the final epoch's mean loss.
+func (o *OpineDB) Train(examples []datasets.Example) float64 {
+	opt := nn.NewAdam(o.cfg.LR)
+	params := o.proj.Params()
+	var last float64
+	for epoch := 0; epoch < o.cfg.Epochs; epoch++ {
+		var total float64
+		var n int
+		for _, ex := range examples {
+			embeds := o.enc.EncodeTokens(ex.Tokens)
+			if len(embeds) == 0 {
+				continue
+			}
+			gold := goldIDs(ex.Labels, len(embeds))
+			nn.ZeroGrads(params)
+			var loss float64
+			for i, e := range embeds {
+				logits := o.proj.Forward(e)
+				l, dLogits := nn.SoftmaxCE(logits, gold[i])
+				loss += l
+				o.proj.Backward(e, dLogits)
+			}
+			nn.ClipGrads(params, o.cfg.ClipNorm)
+			opt.Step(params)
+			total += loss / float64(len(embeds))
+			n++
+		}
+		if n > 0 {
+			last = total / float64(n)
+		}
+	}
+	return last
+}
+
+// Predict tags each token independently by argmax.
+func (o *OpineDB) Predict(tokens []string) []tokenize.Label {
+	embeds := o.enc.EncodeTokens(tokens)
+	out := make([]tokenize.Label, len(tokens))
+	for i, e := range embeds {
+		out[i] = tokenize.Label(o.proj.Forward(e).MaxIdx())
+	}
+	return out
+}
+
+// Evaluate computes exact-match chunk P/R/F1 on a test set.
+func (o *OpineDB) Evaluate(test []datasets.Example) metrics.PRF {
+	gold := make([][]tokenize.Label, len(test))
+	pred := make([][]tokenize.Label, len(test))
+	for i, ex := range test {
+		gold[i] = ex.Labels
+		pred[i] = o.Predict(ex.Tokens)
+	}
+	return metrics.ChunkPRF(gold, pred)
+}

@@ -1,0 +1,212 @@
+// Package trust implements the second future-work item of §7: robustness to
+// "biased or fraudulent online reviews ... a reviewer might have been paid
+// by a business owner to write positive reviews about it, or negative
+// reviews about its competitors". The detector scores each review's
+// consistency against the per-entity, per-aspect consensus of the other
+// reviews; outlier reviews (uniformly glowing or uniformly hostile against
+// a mixed consensus) are downweighted before indexing.
+package trust
+
+import (
+	"math"
+
+	"saccs/internal/lexicon"
+	"saccs/internal/sim"
+)
+
+// ReviewSignals is the polarity evidence extracted from one review: for each
+// aspect concept mentioned, +1 (positive opinion) or −1 (negative).
+type ReviewSignals struct {
+	// ReviewID is any caller-side identifier (index, hash, ...).
+	ReviewID string
+	// AspectPolarity maps a canonical aspect concept to the review's net
+	// polarity on it (+n / −n for n mentions).
+	AspectPolarity map[string]int
+}
+
+// SignalsFromTags derives ReviewSignals from a review's extracted subjective
+// tags using the polarity lexicon and the taxonomy's canonical aspects.
+func SignalsFromTags(id string, tags []string) ReviewSignals {
+	c := sharedConceptual()
+	tax := sharedTaxonomy()
+	sig := ReviewSignals{ReviewID: id, AspectPolarity: map[string]int{}}
+	for _, tag := range tags {
+		pol := c.Polarity(tag)
+		if pol == 0 {
+			continue
+		}
+		asp := canonicalAspect(tax, tag)
+		if asp == "" {
+			continue
+		}
+		sig.AspectPolarity[asp] += pol
+	}
+	return sig
+}
+
+// canonicalAspect returns the first word of the tag whose taxonomy chain
+// passes through a coarse aspect category, lifted to its canonical concept.
+func canonicalAspect(tax *lexicon.Taxonomy, tag string) string {
+	for _, w := range fields(tag) {
+		anc := tax.Ancestors(w)
+		for i, a := range anc {
+			switch a {
+			case "offering", "people", "place", "value", "facility", "hardware":
+				if i > 0 {
+					return anc[i-1] // the concept directly under the category
+				}
+				return w
+			}
+		}
+	}
+	return ""
+}
+
+// Report grades one review against its entity's consensus.
+type Report struct {
+	ReviewID string
+	// Agreement ∈ [-1, 1]: mean sign-agreement with the per-aspect consensus
+	// of the entity's other reviews (1 = always agrees).
+	Agreement float64
+	// Weight ∈ [0, 1]: suggested indexing weight (1 = fully trusted).
+	Weight float64
+	// Suspicious flags reviews whose agreement falls below the threshold.
+	Suspicious bool
+}
+
+// Detector scores review consistency.
+type Detector struct {
+	// MinAspects is the minimum judged aspects before a review can be
+	// flagged (default 2 — one-aspect reviews carry too little evidence).
+	MinAspects int
+	// SuspicionThreshold flags reviews with agreement below it (default -0.25).
+	SuspicionThreshold float64
+}
+
+// NewDetector returns a detector with the default thresholds.
+func NewDetector() *Detector {
+	return &Detector{MinAspects: 2, SuspicionThreshold: -0.25}
+}
+
+// Analyze grades every review of one entity against the leave-one-out
+// consensus. Reviews that systematically contradict an otherwise consistent
+// consensus get low weights; reviews on aspects nobody else discusses stay
+// neutral.
+func (d *Detector) Analyze(reviews []ReviewSignals) []Report {
+	// Per-aspect polarity totals across all reviews.
+	totals := map[string]int{}
+	for _, r := range reviews {
+		for asp, p := range r.AspectPolarity {
+			totals[asp] += sign(p)
+		}
+	}
+	out := make([]Report, len(reviews))
+	for i, r := range reviews {
+		var agree, judged float64
+		for asp, p := range r.AspectPolarity {
+			// Leave-one-out consensus sign.
+			rest := totals[asp] - sign(p)
+			if rest == 0 {
+				continue // no outside opinion on this aspect
+			}
+			judged++
+			if sign(p) == sign(rest) {
+				agree++
+			} else {
+				agree--
+			}
+		}
+		rep := Report{ReviewID: r.ReviewID, Agreement: 0, Weight: 1}
+		if judged > 0 {
+			rep.Agreement = agree / judged
+		}
+		if int(judged) >= d.MinAspects && rep.Agreement < d.SuspicionThreshold {
+			rep.Suspicious = true
+		}
+		// Weight: full trust at agreement >= 0, fading to 0.2 at -1.
+		rep.Weight = math.Max(0.2, 1+0.8*math.Min(0, rep.Agreement))
+		out[i] = rep
+	}
+	return out
+}
+
+// FilterTags drops (probabilistically deterministic: fully drops) the tags
+// of suspicious reviews and returns the surviving multiset — a drop-in
+// preprocessing step before index.EntityReviews is built.
+func (d *Detector) FilterTags(reviewTags map[string][]string) []string {
+	sigs := make([]ReviewSignals, 0, len(reviewTags))
+	ids := make([]string, 0, len(reviewTags))
+	for id := range reviewTags {
+		ids = append(ids, id)
+	}
+	// Deterministic order.
+	sortStrings(ids)
+	for _, id := range ids {
+		sigs = append(sigs, SignalsFromTags(id, reviewTags[id]))
+	}
+	reports := d.Analyze(sigs)
+	var out []string
+	for i, id := range ids {
+		if reports[i].Suspicious {
+			continue
+		}
+		out = append(out, reviewTags[id]...)
+	}
+	return out
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+func fields(s string) []string {
+	var out []string
+	start := -1
+	for i, r := range s {
+		if r == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+var (
+	cachedConceptual *sim.Conceptual
+	cachedTaxonomy   *lexicon.Taxonomy
+)
+
+func sharedConceptual() *sim.Conceptual {
+	if cachedConceptual == nil {
+		cachedConceptual = sim.NewConceptual()
+	}
+	return cachedConceptual
+}
+
+func sharedTaxonomy() *lexicon.Taxonomy {
+	if cachedTaxonomy == nil {
+		cachedTaxonomy = lexicon.DefaultTaxonomy()
+	}
+	return cachedTaxonomy
+}

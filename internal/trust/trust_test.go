@@ -1,0 +1,111 @@
+package trust
+
+import "testing"
+
+func TestSignalsFromTags(t *testing.T) {
+	sig := SignalsFromTags("r1", []string{"delicious food", "rude staff"})
+	if len(sig.AspectPolarity) != 2 {
+		t.Fatalf("signals: %v", sig.AspectPolarity)
+	}
+	var sawPos, sawNeg bool
+	for _, p := range sig.AspectPolarity {
+		if p > 0 {
+			sawPos = true
+		}
+		if p < 0 {
+			sawNeg = true
+		}
+	}
+	if !sawPos || !sawNeg {
+		t.Fatalf("polarity extraction wrong: %v", sig.AspectPolarity)
+	}
+	// Neutral tags contribute nothing.
+	none := SignalsFromTags("r2", []string{"the food"})
+	if len(none.AspectPolarity) != 0 {
+		t.Fatalf("neutral tags must not signal: %v", none.AspectPolarity)
+	}
+}
+
+// shill fabricates review signals: honest reviews agree with polarity,
+// the shill contradicts on every aspect.
+func shillScenario() []ReviewSignals {
+	honest := func(id string) ReviewSignals {
+		return ReviewSignals{ReviewID: id, AspectPolarity: map[string]int{
+			"food": 1, "staff": 1, "decor": -1,
+		}}
+	}
+	shill := ReviewSignals{ReviewID: "shill", AspectPolarity: map[string]int{
+		"food": -1, "staff": -1, "decor": 1,
+	}}
+	return []ReviewSignals{honest("a"), honest("b"), honest("c"), shill}
+}
+
+func TestDetectorFlagsShill(t *testing.T) {
+	d := NewDetector()
+	reports := d.Analyze(shillScenario())
+	byID := map[string]Report{}
+	for _, r := range reports {
+		byID[r.ReviewID] = r
+	}
+	if !byID["shill"].Suspicious {
+		t.Fatalf("shill not flagged: %+v", byID["shill"])
+	}
+	if byID["shill"].Weight >= byID["a"].Weight {
+		t.Fatal("shill must be downweighted")
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if byID[id].Suspicious {
+			t.Fatalf("honest review %s flagged: %+v", id, byID[id])
+		}
+		if byID[id].Agreement <= 0 {
+			t.Fatalf("honest agreement: %+v", byID[id])
+		}
+	}
+}
+
+func TestDetectorNeutralOnUniqueAspects(t *testing.T) {
+	d := NewDetector()
+	reports := d.Analyze([]ReviewSignals{
+		{ReviewID: "solo", AspectPolarity: map[string]int{"wine": 1}},
+		{ReviewID: "other", AspectPolarity: map[string]int{"food": 1}},
+	})
+	for _, r := range reports {
+		if r.Suspicious || r.Weight != 1 {
+			t.Fatalf("no-overlap reviews must stay trusted: %+v", r)
+		}
+	}
+}
+
+func TestDetectorMinAspects(t *testing.T) {
+	// A single contradicted aspect is not enough evidence to flag.
+	d := NewDetector()
+	reports := d.Analyze([]ReviewSignals{
+		{ReviewID: "a", AspectPolarity: map[string]int{"food": 1}},
+		{ReviewID: "b", AspectPolarity: map[string]int{"food": 1}},
+		{ReviewID: "c", AspectPolarity: map[string]int{"food": -1}},
+	})
+	for _, r := range reports {
+		if r.ReviewID == "c" && r.Suspicious {
+			t.Fatal("one disagreement must not flag a review")
+		}
+	}
+}
+
+func TestFilterTagsDropsSuspicious(t *testing.T) {
+	d := NewDetector()
+	reviewTags := map[string][]string{
+		"a":     {"delicious food", "friendly staff"},
+		"b":     {"tasty food", "nice staff"},
+		"c":     {"good food", "helpful staff"},
+		"shill": {"bland food", "rude staff"},
+	}
+	kept := d.FilterTags(reviewTags)
+	for _, tag := range kept {
+		if tag == "bland food" || tag == "rude staff" {
+			t.Fatalf("shill tags survived: %v", kept)
+		}
+	}
+	if len(kept) != 6 {
+		t.Fatalf("honest tags must all survive: %v", kept)
+	}
+}

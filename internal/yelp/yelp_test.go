@@ -1,0 +1,201 @@
+package yelp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateFastWorld(t *testing.T) {
+	w := Generate(FastConfig())
+	if len(w.Entities) != 36 {
+		t.Fatalf("entities: %d", len(w.Entities))
+	}
+	if w.ReviewCount() < 40 {
+		t.Fatalf("too few reviews: %d", w.ReviewCount())
+	}
+	for _, e := range w.Entities {
+		if e.ID == "" || e.Name == "" {
+			t.Fatal("missing identity")
+		}
+		if e.City != "Montreal" || e.Cuisine != "Italian" {
+			t.Fatalf("objective slots wrong: %s %s", e.City, e.Cuisine)
+		}
+		if len(e.Quality) != len(w.Domain.Features) {
+			t.Fatalf("quality vector size %d", len(e.Quality))
+		}
+		for _, q := range e.Quality {
+			if q < 0 || q > 1 {
+				t.Fatalf("quality out of range: %v", q)
+			}
+		}
+		if e.Stars < 1 || e.Stars > 5 {
+			t.Fatalf("stars out of range: %v", e.Stars)
+		}
+		if len(e.Reviews) == 0 {
+			t.Fatal("entity with no reviews")
+		}
+		for _, r := range e.Reviews {
+			if r.EntityID != e.ID {
+				t.Fatal("review entity mismatch")
+			}
+			if r.Text == "" || len(r.Sentences) == 0 {
+				t.Fatal("empty review")
+			}
+		}
+	}
+}
+
+func TestPaperScaleMatchesYelpSlice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper scale in -short mode")
+	}
+	w := Generate(DefaultConfig())
+	if len(w.Entities) != 280 {
+		t.Fatalf("paper slice has 280 entities, got %d", len(w.Entities))
+	}
+	// ~7061 reviews in the paper; generator should land in the same regime.
+	if n := w.ReviewCount(); n < 4000 || n > 11000 {
+		t.Fatalf("review count %d outside the paper's regime", n)
+	}
+}
+
+func TestAttributesWellFormed(t *testing.T) {
+	w := Generate(FastConfig())
+	valid := AttributeValues()
+	for _, e := range w.Entities {
+		for name, vals := range valid {
+			got, ok := e.Attrs[name]
+			if !ok {
+				t.Fatalf("entity missing attribute %s", name)
+			}
+			found := false
+			for _, v := range vals {
+				if got == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("attribute %s has invalid value %q", name, got)
+			}
+		}
+	}
+}
+
+func TestAttributesCorrelateWithLatentQuality(t *testing.T) {
+	// NoiseLevel must track the quiet-atmosphere feature on average — that
+	// correlation is what makes SIM a strong baseline (§6.2).
+	w := Generate(DefaultConfigSmall(200))
+	var quietSum, loudSum float64
+	var quietN, loudN int
+	for _, e := range w.Entities {
+		switch e.Attrs[AttrNoiseLevel] {
+		case "quiet":
+			quietSum += e.Quality[featQuiet]
+			quietN++
+		case "loud":
+			loudSum += e.Quality[featQuiet]
+			loudN++
+		}
+	}
+	if quietN == 0 || loudN == 0 {
+		t.Skip("degenerate sample")
+	}
+	if quietSum/float64(quietN) <= loudSum/float64(loudN) {
+		t.Fatal("NoiseLevel attribute does not correlate with latent quiet quality")
+	}
+}
+
+// DefaultConfigSmall returns a mid-sized config for statistical tests.
+func DefaultConfigSmall(n int) Config {
+	cfg := DefaultConfig()
+	cfg.Entities = n
+	cfg.MeanReviews = 5
+	return cfg
+}
+
+func TestReviewPolarityTracksQuality(t *testing.T) {
+	w := Generate(DefaultConfigSmall(120))
+	// For entities with very high food quality, food mentions should be
+	// mostly positive; very low, mostly negative.
+	var hiPos, hiTot, loPos, loTot int
+	for _, e := range w.Entities {
+		q := e.Quality[0]
+		for _, r := range e.Reviews {
+			for _, s := range r.Sentences {
+				for _, m := range s.Mentions {
+					if m.FeatureID != 0 {
+						continue
+					}
+					switch {
+					case q > 0.8:
+						hiTot++
+						if m.Positive {
+							hiPos++
+						}
+					case q < 0.2:
+						loTot++
+						if m.Positive {
+							loPos++
+						}
+					}
+				}
+			}
+		}
+	}
+	if hiTot < 5 || loTot < 5 {
+		t.Skip("not enough extreme entities in sample")
+	}
+	if float64(hiPos)/float64(hiTot) <= float64(loPos)/float64(loTot) {
+		t.Fatalf("review polarity ignores latent quality: hi=%d/%d lo=%d/%d", hiPos, hiTot, loPos, loTot)
+	}
+}
+
+func TestDeterministicWorld(t *testing.T) {
+	a, b := Generate(FastConfig()), Generate(FastConfig())
+	if len(a.Entities) != len(b.Entities) {
+		t.Fatal("non-deterministic entity count")
+	}
+	for i := range a.Entities {
+		if a.Entities[i].Name != b.Entities[i].Name || a.Entities[i].Stars != b.Entities[i].Stars {
+			t.Fatal("non-deterministic entities")
+		}
+		if len(a.Entities[i].Reviews) != len(b.Entities[i].Reviews) {
+			t.Fatal("non-deterministic reviews")
+		}
+		for j := range a.Entities[i].Reviews {
+			if a.Entities[i].Reviews[j].Text != b.Entities[i].Reviews[j].Text {
+				t.Fatal("non-deterministic review text")
+			}
+		}
+	}
+}
+
+func TestEntityLookup(t *testing.T) {
+	w := Generate(FastConfig())
+	e := w.Entities[3]
+	if got := w.Entity(e.ID); got != e {
+		t.Fatal("Entity lookup failed")
+	}
+	if w.Entity("nope") != nil {
+		t.Fatal("unknown id must be nil")
+	}
+}
+
+func TestEntityNamesUnique(t *testing.T) {
+	w := Generate(FastConfig())
+	seen := map[string]bool{}
+	for _, e := range w.Entities {
+		if seen[e.Name] {
+			t.Fatalf("duplicate entity name %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+}
+
+func TestReviewTextReadable(t *testing.T) {
+	w := Generate(FastConfig())
+	r := w.Entities[0].Reviews[0]
+	if !strings.Contains(r.Text, " ") {
+		t.Fatalf("review text suspicious: %q", r.Text)
+	}
+}

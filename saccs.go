@@ -1,0 +1,377 @@
+// Package saccs is a from-scratch Go implementation of SACCS — Subjectivity
+// Aware Conversational Search Services (Gaci et al., EDBT 2021): a natural
+// language understanding layer that extracts subjective tags ("delicious
+// food", "nice staff") from user utterances and online reviews, indexes
+// entities under those tags with degrees of truth, and filters and ranks the
+// results of an objective search API by the user's subjective preferences.
+//
+// The package exposes a compact facade over the full pipeline:
+//
+//	client, _ := saccs.New(saccs.DefaultConfig())
+//	client.IndexEntities(entities, []string{"delicious food", "nice staff"})
+//	resp := client.Query("an italian place with delicious food")
+//
+// Everything underneath — the MiniBERT encoder, the BiLSTM-CRF adversarial
+// tagger, parse-tree and attention pairing, conceptual similarity, the
+// subjective tag index and Algorithm 1's filtering & ranking — lives in
+// internal/ packages and is documented in DESIGN.md.
+package saccs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"saccs/internal/automaton"
+	"saccs/internal/core"
+	"saccs/internal/datasets"
+	"saccs/internal/experiments"
+	"saccs/internal/index"
+	"saccs/internal/lexicon"
+	"saccs/internal/pairing"
+	"saccs/internal/parse"
+	"saccs/internal/search"
+	"saccs/internal/sim"
+	"saccs/internal/tagger"
+	"saccs/internal/tokenize"
+)
+
+// Config tunes a Client.
+type Config struct {
+	// Domain selects the lexicon the pipeline is trained for:
+	// "restaurants" (default), "electronics" or "hotels".
+	Domain string
+	// TrainingScale selects how much synthetic data the extractor is
+	// trained on: "fast" (default, seconds) or "paper" (Table 3 sizes).
+	TrainingScale string
+	// ThetaIndex is the Eq. 1 review-tag similarity threshold (default 0.55).
+	ThetaIndex float64
+	// ThetaFilter is the Algorithm 1 unknown-tag threshold (default 0.45).
+	ThetaFilter float64
+	// TopK truncates query answers (default 10; 0 = all).
+	TopK int
+	// Adversarial enables FGSM training of the tagger (default true).
+	Adversarial bool
+	// Epsilon is the adversarial perturbation radius (default 0.2).
+	Epsilon float64
+}
+
+// DefaultConfig returns the recommended configuration.
+func DefaultConfig() Config {
+	return Config{
+		Domain:        "restaurants",
+		TrainingScale: "fast",
+		ThetaIndex:    0.55,
+		ThetaFilter:   0.45,
+		TopK:          10,
+		Adversarial:   true,
+		Epsilon:       0.2,
+	}
+}
+
+// Entity is a business (or any reviewable item) a Client can index.
+type Entity struct {
+	// ID must be unique within the client.
+	ID string
+	// Name is the display name.
+	Name string
+	// City and Cuisine are the objective slots the dialog layer filters on.
+	City, Cuisine string
+	// Reviews are free-text customer reviews.
+	Reviews []string
+}
+
+// Result is one ranked answer.
+type Result struct {
+	ID string
+	// Score is the aggregated degree of truth across the query's tags.
+	Score float64
+}
+
+// Response is the answer to a subjective utterance.
+type Response struct {
+	// Intent is the recognized intent name.
+	Intent string
+	// Slots are the filled objective slots (cuisine, location).
+	Slots map[string]string
+	// Tags are the subjective tags extracted from the utterance.
+	Tags []string
+	// UnknownTags were not in the index and are queued for the next
+	// indexing round (see Client.Reindex).
+	UnknownTags []string
+	// Results are the filtered, ranked entities.
+	Results []Result
+}
+
+// Client is a trained SACCS pipeline plus a subjective tag index.
+type Client struct {
+	cfg     Config
+	domain  *lexicon.Domain
+	extr    *core.Extractor
+	measure sim.Measure
+	idx     *index.Index
+	history *index.History
+
+	entities map[string]Entity
+	reviews  []index.EntityReviews
+}
+
+// New trains a SACCS extraction pipeline (MiniBERT masked-language-model
+// pre-training plus an adversarially trained BiLSTM-CRF tagger) on synthetic
+// in-domain data and returns a ready Client. Training is deterministic and
+// CPU-only; the fast scale takes seconds.
+func New(cfg Config) (*Client, error) {
+	if cfg.ThetaIndex == 0 {
+		cfg.ThetaIndex = 0.55
+	}
+	if cfg.ThetaFilter == 0 {
+		cfg.ThetaFilter = 0.45
+	}
+	var domain *lexicon.Domain
+	var data *datasets.Dataset
+	scale := datasets.Fast
+	if cfg.TrainingScale == "paper" {
+		scale = datasets.Paper
+	}
+	switch cfg.Domain {
+	case "", "restaurants":
+		domain = lexicon.Restaurants()
+		data = datasets.S1(scale)
+	case "electronics":
+		domain = lexicon.Electronics()
+		data = datasets.S2(scale)
+	case "hotels":
+		domain = lexicon.Hotels()
+		data = datasets.S4(scale)
+	default:
+		return nil, fmt.Errorf("saccs: unknown domain %q", cfg.Domain)
+	}
+
+	enc := experiments.BuildEncoder(experiments.DefaultEncoderOpts(scale), domain, trainTokens(data))
+	tcfg := tagger.DefaultConfig()
+	if scale == datasets.Paper {
+		tcfg.Epochs = 15
+	}
+	tcfg.Adversarial = cfg.Adversarial
+	tcfg.Epsilon = cfg.Epsilon
+	if tcfg.Epsilon == 0 {
+		tcfg.Epsilon = 0.2
+	}
+	tg := tagger.New(enc, tcfg)
+	tg.Train(data.Train)
+
+	measure := sim.NewConceptual()
+	return &Client{
+		cfg:    cfg,
+		domain: domain,
+		extr: &core.Extractor{
+			Tagger: tg,
+			Pairer: pairing.Tree{Lex: parse.DomainLexicon(domain), FromOpinions: true},
+		},
+		measure:  measure,
+		idx:      index.New(measure, cfg.ThetaIndex),
+		history:  index.NewHistory(),
+		entities: map[string]Entity{},
+	}, nil
+}
+
+func trainTokens(d *datasets.Dataset) [][]string {
+	out := make([][]string, len(d.Train))
+	for i, ex := range d.Train {
+		out[i] = ex.Tokens
+	}
+	return out
+}
+
+// ExtractTags runs the §4+§5 pipeline on free text and returns its
+// subjective tags.
+func (c *Client) ExtractTags(text string) []string {
+	return c.extr.ExtractTags(text)
+}
+
+// CanonicalTags returns the domain's built-in subjective feature tags —
+// a convenient starter set for IndexEntities.
+func (c *Client) CanonicalTags() []string {
+	var tags []string
+	for _, f := range c.domain.Features {
+		tags = append(tags, f.Name)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// IndexEntities extracts subjective tags from every entity's reviews and
+// builds the inverted index for the given tag set. Calling it again replaces
+// the previous index.
+func (c *Client) IndexEntities(entities []Entity, tags []string) error {
+	c.entities = map[string]Entity{}
+	c.reviews = c.reviews[:0]
+	for _, e := range entities {
+		if e.ID == "" {
+			return fmt.Errorf("saccs: entity with empty ID")
+		}
+		if _, dup := c.entities[e.ID]; dup {
+			return fmt.Errorf("saccs: duplicate entity ID %q", e.ID)
+		}
+		c.entities[e.ID] = e
+		er := index.EntityReviews{EntityID: e.ID, ReviewCount: len(e.Reviews)}
+		for _, r := range e.Reviews {
+			er.Tags = append(er.Tags, c.extr.ExtractTags(r)...)
+		}
+		c.reviews = append(c.reviews, er)
+	}
+	c.idx = index.New(c.measure, c.cfg.ThetaIndex)
+	c.history = index.NewHistory()
+	for _, t := range tags {
+		c.idx.AddTag(strings.ToLower(t), c.reviews)
+	}
+	return nil
+}
+
+// IndexedTags returns the current index keys.
+func (c *Client) IndexedTags() []string { return c.idx.Tags() }
+
+// Reindex drains the user tag history (unknown tags seen in queries) into
+// the index — the adaptive round of the paper's Fig. 1 — and returns the
+// tags added.
+func (c *Client) Reindex() []string {
+	pend := c.history.Drain()
+	for _, t := range pend {
+		c.idx.AddTag(t, c.reviews)
+	}
+	return pend
+}
+
+// Query answers a natural-language utterance: intent recognition and slot
+// filling, subjective tag extraction, index probing (similar-tag union for
+// unknown tags), and Algorithm 1 filtering & ranking over the indexed
+// entities.
+func (c *Client) Query(utterance string) Response {
+	svc := c.serviceView()
+	in := parseIntentSlots(utterance)
+
+	tags := c.extr.ExtractTags(utterance)
+	var unknown []string
+	for _, t := range tags {
+		if !c.idx.Has(t) {
+			unknown = append(unknown, t)
+			c.history.Add(t)
+		}
+	}
+	apiResults := c.objectiveFilter(in.slots)
+	ranked := svc.Rank(apiResults, tags)
+	if c.cfg.TopK > 0 && len(ranked) > c.cfg.TopK {
+		ranked = ranked[:c.cfg.TopK]
+	}
+	results := make([]Result, len(ranked))
+	for i, s := range ranked {
+		results[i] = Result{ID: s.EntityID, Score: s.Score}
+	}
+	return Response{
+		Intent:      in.name,
+		Slots:       in.slots,
+		Tags:        tags,
+		UnknownTags: unknown,
+		Results:     results,
+	}
+}
+
+// QueryTags answers a query given directly as subjective tags (no dialog
+// parsing), ranking all indexed entities.
+func (c *Client) QueryTags(tags []string) []Result {
+	svc := c.serviceView()
+	for _, t := range tags {
+		if !c.idx.Has(strings.ToLower(t)) {
+			c.history.Add(strings.ToLower(t))
+		}
+	}
+	var all []string
+	for id := range c.entities {
+		all = append(all, id)
+	}
+	sort.Strings(all)
+	low := make([]string, len(tags))
+	for i, t := range tags {
+		low[i] = strings.ToLower(t)
+	}
+	ranked := svc.Rank(all, low)
+	if c.cfg.TopK > 0 && len(ranked) > c.cfg.TopK {
+		ranked = ranked[:c.cfg.TopK]
+	}
+	out := make([]Result, len(ranked))
+	for i, s := range ranked {
+		out[i] = Result{ID: s.EntityID, Score: s.Score}
+	}
+	return out
+}
+
+// Entity returns an indexed entity by id.
+func (c *Client) Entity(id string) (Entity, bool) {
+	e, ok := c.entities[id]
+	return e, ok
+}
+
+// TagLabels tags each token of a sentence with its IOB aspect/opinion class
+// — the raw §4 view, useful for inspection and debugging.
+func (c *Client) TagLabels(sentence string) (tokens []string, labels []string) {
+	tokens = tokenize.Words(sentence)
+	for _, l := range c.extr.Tagger.Predict(tokens) {
+		labels = append(labels, l.String())
+	}
+	return tokens, labels
+}
+
+// --- small internal helpers -------------------------------------------------
+
+type intentView struct {
+	name  string
+	slots map[string]string
+}
+
+func parseIntentSlots(utterance string) intentView {
+	// Reuse the dialog shim's keyword intent recognition and slot filling.
+	in := search.ParseUtterance(utterance)
+	return intentView{name: in.Name, slots: in.Slots}
+}
+
+// serviceView builds an Algorithm 1 ranker over the current index.
+func (c *Client) serviceView() *search.Ranker {
+	return &search.Ranker{Index: c.idx, ThetaFilter: c.cfg.ThetaFilter, Agg: search.MeanAgg}
+}
+
+func (c *Client) objectiveFilter(slots map[string]string) []string {
+	var out []string
+	for id, e := range c.entities {
+		if v, ok := slots["cuisine"]; ok && !strings.EqualFold(e.Cuisine, v) {
+			continue
+		}
+		if v, ok := slots["location"]; ok && !strings.EqualFold(e.City, v) {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SaveIndex writes the current subjective tag index as JSON so it can be
+// reloaded without re-extracting reviews.
+func (c *Client) SaveIndex(w io.Writer) error { return c.idx.Save(w) }
+
+// LoadIndex restores a previously saved index. The client's entities must
+// be re-registered separately (IndexEntities with an empty tag list keeps
+// reviews without rebuilding the postings).
+func (c *Client) LoadIndex(r io.Reader) error { return c.idx.Load(r) }
+
+// CorrectTag routes a possibly misspelled tag onto the closest indexed tag
+// within edit distance 2, using the §7 search-automaton extension. It
+// returns the input unchanged when nothing is close enough.
+func (c *Client) CorrectTag(tag string) string {
+	trie := automaton.New()
+	trie.AddAll(c.idx.Tags())
+	if fixed, ok := trie.Closest(strings.ToLower(tag), 2); ok {
+		return fixed
+	}
+	return tag
+}

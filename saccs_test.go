@@ -1,0 +1,216 @@
+package saccs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	sharedClient *Client
+	sharedErr    error
+	clientOnce   sync.Once
+)
+
+// newClient trains one shared fast client for the facade tests. Tests that
+// index entities re-index, which resets the client's corpus state anyway.
+func newClient(t *testing.T) *Client {
+	t.Helper()
+	clientOnce.Do(func() {
+		sharedClient, sharedErr = New(DefaultConfig())
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedClient
+}
+
+func demoEntities() []Entity {
+	return []Entity{
+		{
+			ID: "vue", Name: "Vue du Monde", City: "Montreal", Cuisine: "Italian",
+			Reviews: []string{
+				"The food is delicious and the staff is friendly.",
+				"Really good food. The waiters were very attentive.",
+				"Amazing pizza and a quiet atmosphere.",
+			},
+		},
+		{
+			ID: "hut", Name: "Pizza Hut", City: "Montreal", Cuisine: "Italian",
+			Reviews: []string{
+				"The food was bland and the staff was rude.",
+				"Fast delivery but the plates were dirty.",
+			},
+		},
+		{
+			ID: "anchovy", Name: "Anchovy", City: "Melbourne", Cuisine: "Italian",
+			Reviews: []string{
+				"Creative cooking and fresh ingredients.",
+				"The menu is varied and the cooking is inventive.",
+			},
+		},
+	}
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	c := newClient(t)
+	if err := c.IndexEntities(demoEntities(), c.CanonicalTags()); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.IndexedTags()) != 18 {
+		t.Fatalf("indexed tags: %d", len(c.IndexedTags()))
+	}
+	resp := c.Query("I want an Italian restaurant in Montreal with delicious food")
+	if resp.Intent != "searchRestaurant" {
+		t.Fatalf("intent: %s", resp.Intent)
+	}
+	if resp.Slots["cuisine"] != "italian" || resp.Slots["location"] != "montreal" {
+		t.Fatalf("slots: %v", resp.Slots)
+	}
+	// Melbourne entity must be filtered out by the objective slots.
+	for _, r := range resp.Results {
+		if r.ID == "anchovy" {
+			t.Fatal("objective filter leaked a Melbourne entity")
+		}
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("no results")
+	}
+	// The positively reviewed restaurant should outrank the bad one.
+	if resp.Results[0].ID != "vue" {
+		t.Fatalf("expected vue first, got %v", resp.Results)
+	}
+}
+
+func TestClientExtractTags(t *testing.T) {
+	c := newClient(t)
+	tags := c.ExtractTags("The food is delicious and the staff is friendly.")
+	if len(tags) == 0 {
+		t.Fatal("no tags extracted")
+	}
+	joined := strings.Join(tags, "|")
+	if !strings.Contains(joined, "food") {
+		t.Fatalf("expected a food tag, got %v", tags)
+	}
+}
+
+func TestClientUnknownTagAndReindex(t *testing.T) {
+	c := newClient(t)
+	if err := c.IndexEntities(demoEntities(), []string{"delicious food"}); err != nil {
+		t.Fatal(err)
+	}
+	resp := c.Query("a place with a quiet atmosphere")
+	if len(resp.Tags) == 0 {
+		t.Skip("tagger missed the tag at fast scale")
+	}
+	if len(resp.UnknownTags) == 0 {
+		t.Fatalf("tag should be unknown to a 1-tag index: %v", resp.Tags)
+	}
+	added := c.Reindex()
+	if len(added) == 0 {
+		t.Fatal("Reindex added nothing")
+	}
+	for _, tag := range added {
+		if !c.idx.Has(tag) {
+			t.Fatalf("tag %q not indexed after Reindex", tag)
+		}
+	}
+}
+
+func TestClientQueryTags(t *testing.T) {
+	c := newClient(t)
+	if err := c.IndexEntities(demoEntities(), c.CanonicalTags()); err != nil {
+		t.Fatal(err)
+	}
+	got := c.QueryTags([]string{"creative cooking"})
+	if len(got) == 0 {
+		t.Fatal("no results")
+	}
+	if got[0].ID != "anchovy" {
+		t.Fatalf("anchovy should win creative cooking: %v", got)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	c := newClient(t)
+	if err := c.IndexEntities([]Entity{{ID: ""}}, nil); err == nil {
+		t.Fatal("empty ID must error")
+	}
+	if err := c.IndexEntities([]Entity{{ID: "a"}, {ID: "a"}}, nil); err == nil {
+		t.Fatal("duplicate ID must error")
+	}
+	if _, err := New(Config{Domain: "aviation"}); err == nil {
+		t.Fatal("unknown domain must error")
+	}
+	_ = c
+}
+
+func TestClientTagLabels(t *testing.T) {
+	c := newClient(t)
+	tokens, labels := c.TagLabels("the food is delicious")
+	if len(tokens) != len(labels) || len(tokens) != 4 {
+		t.Fatalf("TagLabels shape: %v %v", tokens, labels)
+	}
+	for _, l := range labels {
+		switch l {
+		case "O", "B-AS", "I-AS", "B-OP", "I-OP":
+		default:
+			t.Fatalf("invalid label %q", l)
+		}
+	}
+}
+
+func TestEntityLookup(t *testing.T) {
+	c := newClient(t)
+	if err := c.IndexEntities(demoEntities(), nil); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Entity("vue")
+	if !ok || e.Name != "Vue du Monde" {
+		t.Fatalf("Entity lookup: %v %v", e, ok)
+	}
+	if _, ok := c.Entity("nope"); ok {
+		t.Fatal("unknown entity reported present")
+	}
+}
+
+func TestClientSaveLoadIndex(t *testing.T) {
+	c := newClient(t)
+	if err := c.IndexEntities(demoEntities(), c.CanonicalTags()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	before := c.QueryTags([]string{"creative cooking"})
+	if err := c.LoadIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	after := c.QueryTags([]string{"creative cooking"})
+	if len(before) != len(after) {
+		t.Fatalf("round trip changed results: %v vs %v", before, after)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("result %d changed: %v vs %v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestClientCorrectTag(t *testing.T) {
+	c := newClient(t)
+	if err := c.IndexEntities(demoEntities(), c.CanonicalTags()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CorrectTag("delicous food"); got != "delicious food" {
+		t.Fatalf("typo routing: %q", got)
+	}
+	if got := c.CorrectTag("Nice Staff"); got != "nice staff" {
+		t.Fatalf("case routing: %q", got)
+	}
+	if got := c.CorrectTag("completely unrelated thing"); got != "completely unrelated thing" {
+		t.Fatalf("unmatched tags must pass through: %q", got)
+	}
+}
