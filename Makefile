@@ -1,0 +1,33 @@
+# Tier-1 verification lives behind `make ci`: vet + build + race-enabled
+# tests. The race run uses -short because the full experiment harness
+# (internal/experiments regenerates every paper table) exceeds go test's
+# timeout under the race detector; -short skips only those heavy
+# regenerators — the concurrency tests (saccs root package, internal/obs)
+# always run. `make race-full` races the whole suite when you have ~an hour.
+
+GO ?= go
+
+.PHONY: ci vet build test test-short race race-full bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short -timeout=30m ./...
+
+race-full:
+	$(GO) test -race -timeout=90m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

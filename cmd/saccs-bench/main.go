@@ -3,24 +3,47 @@
 // the paper's corpus sizes (280 entities / ~7000 reviews, Table 3 dataset
 // sizes, 100 queries per difficulty, 15 training epochs).
 //
+// The "stages" section benchmarks every query-path stage in isolation
+// (parse, tagger Viterbi decode, pairing, full extraction, index build,
+// exact and similarity-fallback resolution, ranking, and the end-to-end
+// query) and writes the results both as a human-readable table and as
+// machine-readable JSON (-bench-out, default BENCH.json).
+//
 // Usage:
 //
-//	saccs-bench [-scale fast|paper] [-only table2,table3,table4,table5,figures]
+//	saccs-bench [-scale fast|paper]
+//	            [-only table2,table3,table4,table5,figures,stages]
+//	            [-bench-out BENCH.json] [-metrics-addr :9090]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
+	"saccs/internal/core"
+	"saccs/internal/datasets"
 	"saccs/internal/experiments"
+	"saccs/internal/index"
+	"saccs/internal/obs"
+	"saccs/internal/pairing"
+	"saccs/internal/parse"
+	"saccs/internal/search"
+	"saccs/internal/sim"
+	"saccs/internal/tagger"
+	"saccs/internal/tokenize"
+	"saccs/internal/yelp"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "fast", "experiment scale: fast or paper")
-	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures")
+	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures,stages")
+	benchOut := flag.String("bench-out", "BENCH.json", "file for the machine-readable stage benchmark results (empty disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -32,6 +55,16 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want fast or paper)\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	o := obs.NewObserver()
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, o.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: http://%s/metrics  pprof: http://%s/debug/pprof\n", srv.Addr, srv.Addr)
 	}
 
 	want := map[string]bool{}
@@ -59,4 +92,127 @@ func main() {
 	run("table5", func() { experiments.Table5(scale, os.Stdout) })
 	run("table4", func() { experiments.Table4(scale, os.Stdout) })
 	run("table2", func() { experiments.Table2(scale, os.Stdout) })
+	run("stages", func() { stageBenchmarks(o, *benchOut) })
+}
+
+// stageResult is one row of BENCH.json.
+type stageResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchFile is the BENCH.json document.
+type benchFile struct {
+	Command string        `json:"command"`
+	Stages  []stageResult `json:"stages"`
+}
+
+// stageBenchmarks measures every query-path stage in isolation with
+// testing.Benchmark and reports ns/op plus allocation counts, writing both a
+// human table and (when outPath is non-empty) machine-readable JSON.
+func stageBenchmarks(o *obs.Observer, outPath string) {
+	fmt.Println("building the fast pipeline for the stage benchmarks...")
+	world := yelp.Generate(yelp.FastConfig())
+	data := datasets.S1(datasets.Fast)
+	encOpts := experiments.DefaultEncoderOpts(datasets.Fast)
+	encOpts.Obs = o
+	enc := experiments.BuildEncoder(encOpts, world.Domain, nil)
+	cfg := tagger.DefaultConfig()
+	cfg.Adversarial = true
+	cfg.Epsilon = 0.2
+	tg := tagger.New(enc, cfg)
+	tg.Obs = o
+	tg.Train(data.Train)
+	ex := &core.Extractor{
+		Tagger: tg,
+		Pairer: pairing.Tree{Lex: parse.DomainLexicon(world.Domain), FromOpinions: true},
+	}
+	svc := core.NewService(world, ex, nil, core.DefaultConfig())
+	svc.SetObserver(o)
+	svc.BuildEntityTags(core.NeuralSource{E: ex})
+	canon := svc.CanonicalTags()
+	svc.IndexTags(canon[:8])
+
+	utterance := "I want an Italian restaurant in Montreal with delicious food and nice staff"
+	tokens := tokenize.Words(utterance)
+	intent := search.ParseUtterance(utterance)
+	apiResults := svc.API.Search(intent.Slots)
+	queryTags := ex.ExtractTags(utterance)
+	entityTags := svc.EntityTags()
+
+	// Pre-split spans so the pairing stage is measured alone.
+	labels := tg.Predict(tokens)
+	var aspects, opinions []tokenize.Span
+	for _, sp := range tokenize.Spans(labels) {
+		if sp.Kind == tokenize.AspectSpan {
+			aspects = append(aspects, sp)
+		} else {
+			opinions = append(opinions, sp)
+		}
+	}
+	buildTags := make([]string, 0, 8)
+	for _, t := range canon[:8] {
+		buildTags = append(buildTags, strings.ToLower(t))
+	}
+	var exactTag string
+	svc.Index.EachTag(func(t string) bool { exactTag = t; return false })
+	// The last canonical tags are not indexed, so resolving one exercises
+	// the similarity fallback of Algorithm 1.
+	similarTag := strings.ToLower(canon[len(canon)-1])
+
+	stages := []struct {
+		name string
+		fn   func()
+	}{
+		{"parse", func() { search.ParseUtterance(utterance) }},
+		{"tagger.decode", func() { tg.Predict(tokens) }},
+		{"pairing.pairs", func() { ex.Pairer.Pairs(tokens, aspects, opinions) }},
+		{"extract", func() { ex.ExtractFromTokens(tokens) }},
+		{"index.build", func() {
+			ix := index.New(sim.NewConceptual(), svc.Cfg.ThetaIndex)
+			ix.Build(buildTags, entityTags)
+		}},
+		{"index.resolve.exact", func() { svc.Index.Resolve(exactTag, svc.Cfg.ThetaFilter) }},
+		{"index.resolve.similar", func() { svc.Index.Resolve(similarTag, svc.Cfg.ThetaFilter) }},
+		{"rank", func() { svc.Ranker.Rank(apiResults, queryTags) }},
+		{"query", func() { svc.Query(utterance) }},
+	}
+
+	results := make([]stageResult, 0, len(stages))
+	fmt.Printf("%-22s %14s %12s %12s\n", "stage", "ns/op", "allocs/op", "B/op")
+	for _, st := range stages {
+		fn := st.fn
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		row := stageResult{
+			Name:        st.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		results = append(results, row)
+		fmt.Printf("%-22s %14.0f %12d %12d\n", row.Name, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
+	}
+
+	if outPath == "" {
+		return
+	}
+	doc := benchFile{Command: "saccs-bench -only stages", Stages: results}
+	data2, err := json.MarshalIndent(doc, "", "  ")
+	if err == nil {
+		err = os.WriteFile(outPath, append(data2, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", outPath, err)
+		return
+	}
+	fmt.Printf("wrote %s (%d stages)\n", outPath, len(results))
 }

@@ -9,11 +9,18 @@
 //	:tags        show the indexed subjective tags
 //	:history     show the user tag history (unknown tags seen so far)
 //	:reindex     run an indexing round over the history (Fig. 1's loop)
+//	:stats       dump the runtime metrics snapshot (counters, gauges, stage latencies)
+//	:trace       print the span tree of the most recent query
 //	:quit        exit
+//
+// With -metrics-addr the process also serves the metrics registry in
+// Prometheus text format at /metrics and the pprof handlers under
+// /debug/pprof on the given address.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -21,6 +28,7 @@ import (
 	"saccs/internal/core"
 	"saccs/internal/datasets"
 	"saccs/internal/experiments"
+	"saccs/internal/obs"
 	"saccs/internal/pairing"
 	"saccs/internal/parse"
 	"saccs/internal/tagger"
@@ -28,20 +36,39 @@ import (
 )
 
 func main() {
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
+	flag.Parse()
+
+	o := obs.NewObserver()
+	ring := obs.NewRingSink(512)
+	o.SetTracer(obs.NewTracer(ring))
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, o.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: http://%s/metrics  pprof: http://%s/debug/pprof\n", srv.Addr, srv.Addr)
+	}
+
 	fmt.Println("setting up: world + extractor (this takes a few seconds)...")
 	world := yelp.Generate(yelp.FastConfig())
 	data := datasets.S1(datasets.Fast)
-	enc := experiments.BuildEncoder(experiments.DefaultEncoderOpts(datasets.Fast), world.Domain, nil)
+	encOpts := experiments.DefaultEncoderOpts(datasets.Fast)
+	encOpts.Obs = o
+	enc := experiments.BuildEncoder(encOpts, world.Domain, nil)
 	cfg := tagger.DefaultConfig()
 	cfg.Adversarial = true
 	cfg.Epsilon = 0.2
 	tg := tagger.New(enc, cfg)
+	tg.Obs = o
 	tg.Train(data.Train)
 	ex := &core.Extractor{
 		Tagger: tg,
 		Pairer: pairing.Tree{Lex: parse.DomainLexicon(world.Domain), FromOpinions: true},
 	}
 	svc := core.NewService(world, ex, nil, core.DefaultConfig())
+	svc.SetObserver(o)
 	svc.BuildEntityTags(core.NeuralSource{E: ex})
 	svc.IndexTags(svc.CanonicalTags()[:8])
 	fmt.Printf("ready: %d restaurants, %d reviews, %d tags indexed\n\n",
@@ -62,6 +89,15 @@ func main() {
 		case line == ":reindex":
 			added := svc.IndexPending()
 			fmt.Printf("indexed %v; index now has %d tags\n", added, svc.Index.Len())
+		case line == ":stats":
+			o.Metrics.Snapshot().WriteText(os.Stdout)
+		case line == ":trace":
+			spans := ring.Spans()
+			if root, ok := obs.LastRoot(spans); ok {
+				obs.WriteTree(os.Stdout, obs.Subtree(spans, root.ID))
+			} else {
+				fmt.Println("no spans recorded yet — run a query first")
+			}
 		default:
 			resp := svc.Query(line)
 			fmt.Printf("intent=%s slots=%v tags=%v", resp.Intent.Name, resp.Intent.Slots, resp.Tags)

@@ -5,17 +5,19 @@
 //
 // Usage:
 //
-//	saccs-index [-tags "good food,nice staff"] [-gold] [-top 5]
+//	saccs-index [-tags "good food,nice staff"] [-gold] [-top 5] [-metrics-addr :9090]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"saccs/internal/core"
 	"saccs/internal/datasets"
 	"saccs/internal/experiments"
+	"saccs/internal/obs"
 	"saccs/internal/pairing"
 	"saccs/internal/parse"
 	"saccs/internal/tagger"
@@ -26,7 +28,18 @@ func main() {
 	tagsFlag := flag.String("tags", "", "comma-separated tags to index (default: the 18 canonical feature tags)")
 	gold := flag.Bool("gold", false, "use gold review annotations instead of the neural extractor")
 	top := flag.Int("top", 5, "entities shown per tag")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
 	flag.Parse()
+
+	o := obs.NewObserver()
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, o.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: http://%s/metrics  pprof: http://%s/debug/pprof\n", srv.Addr, srv.Addr)
+	}
 
 	world := yelp.Generate(yelp.FastConfig())
 	var ex *core.Extractor
@@ -37,11 +50,14 @@ func main() {
 	} else {
 		fmt.Println("training the neural extractor...")
 		data := datasets.S1(datasets.Fast)
-		enc := experiments.BuildEncoder(experiments.DefaultEncoderOpts(datasets.Fast), world.Domain, nil)
+		encOpts := experiments.DefaultEncoderOpts(datasets.Fast)
+		encOpts.Obs = o
+		enc := experiments.BuildEncoder(encOpts, world.Domain, nil)
 		cfg := tagger.DefaultConfig()
 		cfg.Adversarial = true
 		cfg.Epsilon = 0.2
 		tg := tagger.New(enc, cfg)
+		tg.Obs = o
 		tg.Train(data.Train)
 		ex = &core.Extractor{
 			Tagger: tg,
@@ -51,6 +67,7 @@ func main() {
 	}
 
 	svc := core.NewService(world, ex, nil, core.DefaultConfig())
+	svc.SetObserver(o)
 	fmt.Println("extracting review tags...")
 	svc.BuildEntityTags(src)
 

@@ -2,6 +2,7 @@ package bert
 
 import (
 	"math/rand"
+	"time"
 
 	"saccs/internal/mat"
 	"saccs/internal/nn"
@@ -35,6 +36,10 @@ func (m *Model) TrainMLM(rng *rand.Rand, corpus [][]string, cfg MLMConfig) float
 	maskID := m.Vocab.ID(tokenize.MaskToken)
 	var lastEpochLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		if m.o != nil {
+			epochStart = time.Now()
+		}
 		var total float64
 		var count int
 		for _, sent := range corpus {
@@ -81,6 +86,11 @@ func (m *Model) TrainMLM(rng *rand.Rand, corpus [][]string, cfg MLMConfig) float
 		}
 		if count > 0 {
 			lastEpochLoss = total / float64(count)
+		}
+		if m.o != nil {
+			m.o.Histogram("bert.mlm.epoch").ObserveSince(epochStart)
+			m.o.Gauge("bert.mlm.loss").Set(lastEpochLoss)
+			m.o.Counter("bert.mlm.epochs.total").Inc()
 		}
 	}
 	return lastEpochLoss

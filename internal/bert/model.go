@@ -3,9 +3,11 @@ package bert
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"saccs/internal/mat"
 	"saccs/internal/nn"
+	"saccs/internal/obs"
 	"saccs/internal/tokenize"
 )
 
@@ -41,6 +43,25 @@ type Model struct {
 
 	lastIDs    []int
 	lastEmbeds []mat.Vec
+
+	// observability (nil when disabled; see SetObserver).
+	o         *obs.Observer
+	encHist   *obs.Histogram
+	encTokens *obs.Counter
+}
+
+// SetObserver attaches runtime observability: every Encode records its
+// latency and token count, and MLM training emits per-epoch duration and
+// loss. A nil observer (the default) keeps the encode hot path to a single
+// branch.
+func (m *Model) SetObserver(o *obs.Observer) {
+	m.o = o
+	if o == nil {
+		m.encHist, m.encTokens = nil, nil
+		return
+	}
+	m.encHist = o.Histogram("bert.encode")
+	m.encTokens = o.Counter("bert.encode.tokens.total")
 }
 
 // New builds a randomly initialized MiniBERT over the given vocabulary.
@@ -88,6 +109,10 @@ func (m *Model) truncate(ids []int) []int {
 // per token. Sequences longer than MaxLen are truncated. The internal caches
 // remain valid for Attention and backward passes until the next Encode.
 func (m *Model) Encode(ids []int) []mat.Vec {
+	if m.o != nil {
+		defer m.encHist.ObserveSince(time.Now())
+		m.encTokens.Add(int64(len(ids)))
+	}
 	ids = m.truncate(ids)
 	m.lastIDs = ids
 	xs := make([]mat.Vec, len(ids))

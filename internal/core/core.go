@@ -9,9 +9,11 @@ package core
 import (
 	"sort"
 	"strings"
+	"time"
 
 	"saccs/internal/corpus"
 	"saccs/internal/index"
+	"saccs/internal/obs"
 	"saccs/internal/pairing"
 	"saccs/internal/search"
 	"saccs/internal/sim"
@@ -65,11 +67,24 @@ func (p ClassifierPairer) Pairs(tokens []string, aspects, opinions []tokenize.Sp
 type Extractor struct {
 	Tagger Tagger
 	Pairer Pairer
+	// Obs, when set, records tagging and pairing latency histograms. Set it
+	// before use; it must not change while extractions are in flight.
+	Obs *obs.Observer
 }
 
 // ExtractFromTokens extracts subjective tags from one tokenized sentence.
 func (e *Extractor) ExtractFromTokens(tokens []string) []string {
+	return e.ExtractFromTokensTraced(nil, tokens)
+}
+
+// ExtractFromTokensTraced is ExtractFromTokens with tracing: under a live
+// parent span it opens "tagger.decode" and "pairing.pairs" children — the §4
+// Viterbi decode and the §5 pairing stages of the pipeline.
+func (e *Extractor) ExtractFromTokensTraced(parent *obs.Span, tokens []string) []string {
+	st := obs.BeginStage(e.Obs, parent, "tagger.decode")
 	labels := e.Tagger.Predict(tokens)
+	st.Span().Set("tokens", len(tokens))
+	st.End()
 	spans := tokenize.Spans(labels)
 	var aspects, opinions []tokenize.Span
 	for _, sp := range spans {
@@ -79,9 +94,13 @@ func (e *Extractor) ExtractFromTokens(tokens []string) []string {
 			opinions = append(opinions, sp)
 		}
 	}
+	st = obs.BeginStage(e.Obs, parent, "pairing.pairs")
+	pairs := e.Pairer.Pairs(tokens, aspects, opinions)
+	st.Span().Set("aspects", len(aspects)).Set("opinions", len(opinions)).Set("pairs", len(pairs))
+	st.End()
 	var tags []string
 	seen := map[string]bool{}
-	for _, p := range e.Pairer.Pairs(tokens, aspects, opinions) {
+	for _, p := range pairs {
 		tag := p.Opinion.Text(tokens) + " " + p.Aspect.Text(tokens)
 		if !seen[tag] {
 			seen[tag] = true
@@ -93,10 +112,16 @@ func (e *Extractor) ExtractFromTokens(tokens []string) []string {
 
 // ExtractTags splits free text into sentences and extracts tags from each.
 func (e *Extractor) ExtractTags(text string) []string {
+	return e.ExtractTagsTraced(nil, text)
+}
+
+// ExtractTagsTraced is ExtractTags with per-sentence stage spans attached to
+// parent (see ExtractFromTokensTraced).
+func (e *Extractor) ExtractTagsTraced(parent *obs.Span, text string) []string {
 	var tags []string
 	seen := map[string]bool{}
 	for _, sent := range tokenize.Sentences(text) {
-		for _, tag := range e.ExtractFromTokens(tokenize.Words(sent)) {
+		for _, tag := range e.ExtractFromTokensTraced(parent, tokenize.Words(sent)) {
 			if !seen[tag] {
 				seen[tag] = true
 				tags = append(tags, tag)
@@ -181,8 +206,21 @@ type Service struct {
 	History   *index.History
 	API       *search.API
 	Ranker    *search.Ranker
+	// Obs is the service's observability handle (nil when disabled); use
+	// SetObserver to attach it so the index and extractor are wired too.
+	Obs *obs.Observer
 
 	entityTags []index.EntityReviews
+}
+
+// SetObserver threads an observer through every instrumented component the
+// service owns. Call before serving; ResetIndex preserves the wiring.
+func (s *Service) SetObserver(o *obs.Observer) {
+	s.Obs = o
+	s.Index.SetObserver(o)
+	if s.Extractor != nil {
+		s.Extractor.Obs = o
+	}
 }
 
 // NewService wires a SACCS instance over a world. The similarity measure
@@ -207,6 +245,10 @@ func NewService(w *yelp.World, ex *Extractor, measure sim.Measure, cfg Config) *
 // BuildEntityTags runs the tag source over every review once and caches the
 // per-entity tag multisets the indexer consumes.
 func (s *Service) BuildEntityTags(src ReviewTagSource) {
+	var t0 time.Time
+	if s.Obs != nil {
+		t0 = time.Now()
+	}
 	s.entityTags = s.entityTags[:0]
 	for _, e := range s.World.Entities {
 		er := index.EntityReviews{EntityID: e.ID, ReviewCount: len(e.Reviews)}
@@ -214,6 +256,10 @@ func (s *Service) BuildEntityTags(src ReviewTagSource) {
 			er.Tags = append(er.Tags, src.Tags(r)...)
 		}
 		s.entityTags = append(s.entityTags, er)
+	}
+	if s.Obs != nil {
+		s.Obs.Histogram("extract.reviews").ObserveSince(t0)
+		s.Obs.Gauge("extract.entities").Set(float64(len(s.entityTags)))
 	}
 }
 
@@ -226,6 +272,7 @@ func (s *Service) EntityTags() []index.EntityReviews {
 // entity tags — used to sweep index sizes over one extraction pass.
 func (s *Service) ResetIndex() {
 	s.Index = index.New(s.Measure, s.Cfg.ThetaIndex)
+	s.Index.SetObserver(s.Obs)
 	s.History = index.NewHistory()
 	s.Ranker = &search.Ranker{Index: s.Index, ThetaFilter: s.Cfg.ThetaFilter, Agg: s.Cfg.Agg}
 }
@@ -264,10 +311,22 @@ func (s *Service) QueryTags(slots map[string]string, tags []string) []search.Sco
 }
 
 // Query answers a natural-language utterance end-to-end: intent + slots,
-// subjective tag extraction, index probe, filtering and ranking.
+// subjective tag extraction, index probe, filtering and ranking. With an
+// observer attached (SetObserver) it produces one root "query" span whose
+// children time every stage, and per-stage latency histograms.
 func (s *Service) Query(utterance string) Response {
+	var t0 time.Time
+	if s.Obs != nil {
+		t0 = time.Now()
+	}
+	root := s.Obs.StartSpan("query").Set("utterance_len", len(utterance))
+
+	st := obs.BeginStage(s.Obs, root, "parse")
 	intent := search.ParseUtterance(utterance)
-	tags := s.Extractor.ExtractTags(utterance)
+	st.End()
+
+	tags := s.Extractor.ExtractTagsTraced(root, utterance)
+
 	var unknown []string
 	for _, t := range tags {
 		if !s.Index.Has(t) {
@@ -275,10 +334,26 @@ func (s *Service) Query(utterance string) Response {
 			s.History.Add(t)
 		}
 	}
-	results := s.Ranker.Rank(s.API.Search(intent.Slots), tags)
+
+	st = obs.BeginStage(s.Obs, root, "objective")
+	apiResults := s.API.Search(intent.Slots)
+	st.Span().Set("results", len(apiResults))
+	st.End()
+
+	st = obs.BeginStage(s.Obs, root, "rank")
+	results := s.Ranker.RankTraced(st.Span(), apiResults, tags)
+	st.End()
 	if s.Cfg.TopK > 0 && len(results) > s.Cfg.TopK {
 		results = results[:s.Cfg.TopK]
 	}
+
+	if s.Obs != nil {
+		s.Obs.Counter("query.total").Inc()
+		s.Obs.Counter("query.unknown_tags.total").Add(int64(len(unknown)))
+		s.Obs.Histogram("query.latency").ObserveSince(t0)
+	}
+	root.Set("tags", len(tags)).Set("unknown", len(unknown)).Set("results", len(results))
+	root.End()
 	return Response{Intent: intent, Tags: tags, UnknownTags: unknown, Results: results}
 }
 

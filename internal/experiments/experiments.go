@@ -15,6 +15,7 @@ import (
 	"saccs/internal/corpus"
 	"saccs/internal/datasets"
 	"saccs/internal/lexicon"
+	"saccs/internal/obs"
 	"saccs/internal/tokenize"
 )
 
@@ -33,6 +34,9 @@ type EncoderOpts struct {
 	GeneralSize int
 	MLM         bert.MLMConfig
 	Seed        int64
+	// Obs, when non-nil, is attached to the encoder before MLM training so
+	// pre-training epochs and later Encode calls are instrumented.
+	Obs *obs.Observer
 }
 
 // encoderOpts returns the per-scale encoder recipe.
@@ -72,6 +76,7 @@ func BuildEncoder(opts EncoderOpts, domain *lexicon.Domain, domainCorpus [][]str
 	}
 
 	m := bert.New(rand.New(rand.NewSource(opts.Seed+1)), opts.Cfg, vocab)
+	m.SetObserver(opts.Obs)
 	m.TrainMLM(rand.New(rand.NewSource(opts.Seed+2)), general, opts.MLM)
 	if len(domainCorpus) > 0 {
 		// Post-training gets a longer run than the general phase when the

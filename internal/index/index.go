@@ -13,7 +13,10 @@ package index
 import (
 	"math"
 	"sort"
+	"sync"
+	"time"
 
+	"saccs/internal/obs"
 	"saccs/internal/sim"
 )
 
@@ -52,6 +55,18 @@ type Index struct {
 	tags map[string][]Entry
 	// order preserves insertion order for deterministic iteration.
 	order []string
+
+	// observability (nil when disabled; see SetObserver).
+	o           *obs.Observer
+	addTagHist  *obs.Histogram
+	buildHist   *obs.Histogram
+	resolveHist *obs.Histogram
+	tagsGauge   *obs.Gauge
+	entriesCtr  *obs.Counter
+	matchedCtr  *obs.Counter
+	conflictCtr *obs.Counter
+	exactCtr    *obs.Counter
+	similarCtr  *obs.Counter
 }
 
 // New returns an empty index using the given similarity measure and
@@ -59,6 +74,30 @@ type Index struct {
 // is on by default.
 func New(measure sim.Measure, thetaIndex float64) *Index {
 	return &Index{measure: measure, thetaIndex: thetaIndex, reviewWeight: true, frequencyAware: true, tags: map[string][]Entry{}}
+}
+
+// SetObserver attaches runtime observability: indexing rounds record build
+// latency and tag/entry counts, lookups record resolution latency and
+// exact-vs-similar hit counters. Call before concurrent use; a nil observer
+// (the default) keeps every hot path free of instrumentation cost.
+func (ix *Index) SetObserver(o *obs.Observer) {
+	ix.o = o
+	if o == nil {
+		ix.addTagHist, ix.buildHist, ix.resolveHist = nil, nil, nil
+		ix.tagsGauge = nil
+		ix.entriesCtr, ix.matchedCtr, ix.conflictCtr = nil, nil, nil
+		ix.exactCtr, ix.similarCtr = nil, nil
+		return
+	}
+	ix.addTagHist = o.Histogram("index.add_tag")
+	ix.buildHist = o.Histogram("index.build")
+	ix.resolveHist = o.Histogram("index.resolve")
+	ix.tagsGauge = o.Gauge("index.tags")
+	ix.entriesCtr = o.Counter("index.entries.total")
+	ix.matchedCtr = o.Counter("index.matched_mentions.total")
+	ix.conflictCtr = o.Counter("index.contradicted_mentions.total")
+	ix.exactCtr = o.Counter("index.resolve.exact.total")
+	ix.similarCtr = o.Counter("index.resolve.similar.total")
 }
 
 // SetReviewWeighting toggles Eq. 1's log(|Re|+1) factor (ablation knob).
@@ -74,8 +113,29 @@ func (ix *Index) Has(tag string) bool {
 	return ok
 }
 
-// Tags returns the index keys in insertion order.
+// Tags returns the index keys in insertion order (a defensive copy; the
+// query path should prefer EachTag, which does not allocate).
 func (ix *Index) Tags() []string { return append([]string(nil), ix.order...) }
+
+// EachTag calls f for every index key in insertion order, stopping early
+// when f returns false. Unlike Tags it performs no copy.
+func (ix *Index) EachTag(f func(tag string) bool) {
+	for _, t := range ix.order {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// EachEntry calls f for every posting of an exact index tag in degree order,
+// stopping early when f returns false. Unlike Lookup it performs no copy.
+func (ix *Index) EachEntry(tag string, f func(Entry) bool) {
+	for _, e := range ix.tags[tag] {
+		if !f(e) {
+			return
+		}
+	}
+}
 
 // Len returns the number of indexed tags.
 func (ix *Index) Len() int { return len(ix.order) }
@@ -85,6 +145,10 @@ func (ix *Index) Len() int { return len(ix.order) }
 // added with its Eq. 1 degree of truth. Re-adding a tag recomputes its
 // posting list.
 func (ix *Index) AddTag(tag string, entities []EntityReviews) {
+	var t0 time.Time
+	if ix.o != nil {
+		t0 = time.Now()
+	}
 	var entries []Entry
 	for _, e := range entities {
 		deg, matched := ix.degreeOfTruth(tag, e)
@@ -103,12 +167,26 @@ func (ix *Index) AddTag(tag string, entities []EntityReviews) {
 		ix.order = append(ix.order, tag)
 	}
 	ix.tags[tag] = entries
+	if ix.o != nil {
+		ix.addTagHist.Observe(time.Since(t0))
+		ix.entriesCtr.Add(int64(len(entries)))
+		ix.tagsGauge.Set(float64(len(ix.order)))
+	}
 }
 
-// Build indexes a whole tag set in one pass.
+// Build indexes a whole tag set in one pass, recording the round's total
+// latency and resulting index size when an observer is attached.
 func (ix *Index) Build(tags []string, entities []EntityReviews) {
+	var t0 time.Time
+	if ix.o != nil {
+		t0 = time.Now()
+	}
 	for _, t := range tags {
 		ix.AddTag(t, entities)
+	}
+	if ix.o != nil {
+		ix.buildHist.Observe(time.Since(t0))
+		ix.o.Gauge("index.build.entities").Set(float64(len(entities)))
 	}
 }
 
@@ -164,6 +242,10 @@ func (ix *Index) degreeOfTruth(tag string, e EntityReviews) (float64, int) {
 		}
 		deg *= math.Sqrt(rate)
 	}
+	if ix.o != nil {
+		ix.matchedCtr.Add(int64(matched))
+		ix.conflictCtr.Add(int64(contradicted))
+	}
 	return deg, matched
 }
 
@@ -203,15 +285,62 @@ func (ix *Index) LookupSimilar(tag string, thetaFilter float64) []Entry {
 // Resolve implements the probing rule of Algorithm 1 lines 7–10: exact hit
 // when the tag is indexed, otherwise the similar-tag union.
 func (ix *Index) Resolve(tag string, thetaFilter float64) []Entry {
-	if ix.Has(tag) {
-		return ix.Lookup(tag)
+	var t0 time.Time
+	if ix.o != nil {
+		t0 = time.Now()
 	}
-	return ix.LookupSimilar(tag, thetaFilter)
+	var out []Entry
+	exact := ix.Has(tag)
+	if exact {
+		out = ix.Lookup(tag)
+	} else {
+		out = ix.LookupSimilar(tag, thetaFilter)
+	}
+	if ix.o != nil {
+		ix.resolveHist.Observe(time.Since(t0))
+		if exact {
+			ix.exactCtr.Inc()
+		} else {
+			ix.similarCtr.Inc()
+		}
+	}
+	return out
+}
+
+// ResolveEach is the copy-free Resolve for the query hot path: exact hits
+// iterate the posting list in place; only the similar-tag union (which must
+// aggregate across tags) materializes a slice.
+func (ix *Index) ResolveEach(tag string, thetaFilter float64, f func(Entry) bool) {
+	var t0 time.Time
+	if ix.o != nil {
+		t0 = time.Now()
+	}
+	exact := ix.Has(tag)
+	if exact {
+		ix.EachEntry(tag, f)
+	} else {
+		for _, e := range ix.LookupSimilar(tag, thetaFilter) {
+			if !f(e) {
+				break
+			}
+		}
+	}
+	if ix.o != nil {
+		ix.resolveHist.Observe(time.Since(t0))
+		if exact {
+			ix.exactCtr.Inc()
+		} else {
+			ix.similarCtr.Inc()
+		}
+	}
 }
 
 // History is the user tag history of §3.1: unknown tags extracted from user
-// utterances queue here until the next indexing round.
+// utterances queue here until the next indexing round. It is safe for
+// concurrent use — queries on parallel conversations append to one shared
+// history.
 type History struct {
+	mu      sync.Mutex
 	pending []string
 	seen    map[string]bool
 }
@@ -221,23 +350,51 @@ func NewHistory() *History { return &History{seen: map[string]bool{}} }
 
 // Add queues a tag once; duplicates are ignored.
 func (h *History) Add(tag string) {
-	if tag == "" || h.seen[tag] {
+	if tag == "" {
 		return
 	}
-	h.seen[tag] = true
-	h.pending = append(h.pending, tag)
+	h.mu.Lock()
+	if !h.seen[tag] {
+		h.seen[tag] = true
+		h.pending = append(h.pending, tag)
+	}
+	h.mu.Unlock()
 }
 
-// Pending returns queued tags in arrival order.
-func (h *History) Pending() []string { return append([]string(nil), h.pending...) }
+// Pending returns queued tags in arrival order (a defensive copy; the query
+// path should prefer Each, which does not allocate).
+func (h *History) Pending() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.pending...)
+}
+
+// Each calls f for every queued tag in arrival order without copying,
+// stopping early when f returns false. f must not call back into the
+// history (the lock is held).
+func (h *History) Each(f func(tag string) bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, t := range h.pending {
+		if !f(t) {
+			return
+		}
+	}
+}
 
 // Drain returns and clears the queue (the seen-set persists so a drained
 // tag is not re-queued).
 func (h *History) Drain() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	out := h.pending
 	h.pending = nil
 	return out
 }
 
 // Len returns the number of queued tags.
-func (h *History) Len() int { return len(h.pending) }
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pending)
+}

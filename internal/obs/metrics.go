@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are safe
+// on a nil receiver (no-ops), so call sites need no enabled-checks.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 holding the latest value of some measurement
+// (a loss, a queue depth, an index size). Nil-safe like Counter.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram bucket layout: bucket i counts observations with
+// d <= histBaseNs<<i (1µs, 2µs, 4µs, … ~33.6s); the last bucket is +Inf.
+const (
+	histBuckets = 27
+	histBaseNs  = int64(1000) // 1µs
+)
+
+// BucketBound returns the inclusive upper bound of bucket i; the final
+// bucket's bound is reported as a negative duration, meaning +Inf.
+func BucketBound(i int) time.Duration {
+	if i >= histBuckets-1 {
+		return -1
+	}
+	return time.Duration(histBaseNs << uint(i))
+}
+
+// Histogram is a lock-free latency histogram with exponential (power-of-two)
+// buckets from 1µs to ~33s plus an overflow bucket. Nil-safe like Counter.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	n      atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	b := 0
+	for ub := histBaseNs; b < histBuckets-1 && ns > ub; ub <<= 1 {
+		b++
+	}
+	h.counts[b].Add(1)
+	h.sum.Add(ns)
+	h.n.Add(1)
+}
+
+// ObserveSince records the time elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Counts = make([]int64, histBuckets)
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	s.Count = h.n.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	// Count is the number of observations; Sum their total duration.
+	Count int64
+	Sum   time.Duration
+	// Counts holds per-bucket (non-cumulative) observation counts; bucket i's
+	// upper bound is BucketBound(i).
+	Counts []int64
+}
+
+// Mean returns the average observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket where the cumulative count crosses q·Count. The overflow bucket
+// reports the largest finite bound.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if b := BucketBound(i); b >= 0 {
+				return b
+			}
+			return BucketBound(histBuckets - 2)
+		}
+	}
+	return BucketBound(histBuckets - 2)
+}
+
+// Registry is a named collection of counters, gauges, and histograms.
+// Instruments are created on first use and live for the registry's lifetime;
+// lookups are cheap, but hot paths should resolve a handle once and keep it.
+// All methods are safe on a nil receiver, returning nil instruments whose
+// methods are in turn no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the registry's current state. Nil-safe (returns empty maps).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}
+
+// WriteText renders the snapshot for humans: counters and gauges one per
+// line, histograms as count/mean/p50/p95/max-bucket summaries.
+func (s Snapshot) WriteText(w io.Writer) {
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Fprintf(w, "%-40s %d\n", k, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(w, "%-40s %g\n", k, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		fmt.Fprintf(w, "%-40s n=%d mean=%s p50=%s p95=%s\n",
+			k, h.Count, h.Mean().Round(time.Microsecond),
+			h.Quantile(0.50), h.Quantile(0.95))
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (0.0.4): counters and gauges verbatim, histograms with cumulative
+// le-labeled buckets in seconds. Metric names are sanitized ('.', '-' → '_').
+func (r *Registry) WritePrometheus(w io.Writer) {
+	s := r.Snapshot()
+	for _, k := range sortedKeys(s.Counters) {
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name,
+			strconv.FormatFloat(s.Gauges[k], 'g', -1, 64))
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		name := promName(k) + "_seconds"
+		h := s.Histograms[k]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if b := BucketBound(i); b >= 0 {
+				le = strconv.FormatFloat(b.Seconds(), 'g', -1, 64)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", name,
+			strconv.FormatFloat(h.Sum.Seconds(), 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}
+
+// promName maps a dotted instrument name onto the Prometheus charset.
+func promName(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out[i] = c
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out[i] = '_'
+			} else {
+				out[i] = c
+			}
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

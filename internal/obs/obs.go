@@ -1,0 +1,111 @@
+// Package obs is the runtime observability subsystem: hierarchical tracing
+// spans with pluggable sinks (in-memory ring buffer, JSONL), a registry of
+// atomic counters, gauges, and exponential-bucket latency histograms with
+// Prometheus text exposition, and optional net/http serving of /metrics and
+// /debug/pprof.
+//
+// The package is stdlib-only and designed around a nil-safe no-op fast path:
+// a nil *Observer, *Tracer, *Span, or any nil instrument accepts every call
+// as a cheap no-op, so instrumented code needs no conditionals beyond an
+// optional `if x.obs != nil` guard where even a time.Now() would be too much.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Observer bundles the two halves of the subsystem — a metrics registry and
+// an (optionally attached) tracer — into the single handle instrumented
+// components hold. Metrics is fixed at construction; the tracer may be
+// swapped at runtime (atomically, so concurrent queries may race with
+// enabling/disabling tracing).
+type Observer struct {
+	Metrics *Registry
+	tracer  atomic.Pointer[Tracer]
+}
+
+// NewObserver returns an observer with a fresh registry and no tracer.
+func NewObserver() *Observer {
+	return &Observer{Metrics: NewRegistry()}
+}
+
+// SetTracer attaches (or, with nil, detaches) a tracer.
+func (o *Observer) SetTracer(t *Tracer) {
+	if o == nil {
+		return
+	}
+	o.tracer.Store(t)
+}
+
+// Tracer returns the currently attached tracer, possibly nil.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer.Load()
+}
+
+// StartSpan opens a root span on the attached tracer (nil without one).
+func (o *Observer) StartSpan(name string) *Span {
+	return o.Tracer().Start(name)
+}
+
+// Counter returns the named counter from the registry (nil-safe).
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge from the registry (nil-safe).
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram from the registry (nil-safe).
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name)
+}
+
+// Stage times one named pipeline stage: a child span under parent (when
+// tracing) plus a latency histogram "stage.<name>" (when metrics are on).
+// The zero Stage is a no-op, so BeginStage/End can wrap stages
+// unconditionally.
+type Stage struct {
+	span  *Span
+	hist  *Histogram
+	start time.Time
+}
+
+// BeginStage opens a stage. Either o or parent (or both) may be nil.
+func BeginStage(o *Observer, parent *Span, name string) Stage {
+	st := Stage{span: parent.Child(name)}
+	if o != nil && o.Metrics != nil {
+		st.hist = o.Metrics.Histogram("stage." + name)
+	}
+	if st.span != nil || st.hist != nil {
+		st.start = time.Now()
+	}
+	return st
+}
+
+// Span exposes the stage's span so sub-stages can attach children to it.
+func (st Stage) Span() *Span { return st.span }
+
+// End closes the stage's span and records its latency.
+func (st Stage) End() {
+	if st.span == nil && st.hist == nil {
+		return
+	}
+	d := time.Since(st.start)
+	st.span.End()
+	st.hist.Observe(d)
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanRecord is the completed form of a span, as delivered to sinks.
+type SpanRecord struct {
+	// ID is unique per tracer; Parent is 0 for root spans.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	// Duration is the span's wall-clock length in nanoseconds.
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// SpanSink receives completed spans. Implementations must be safe for
+// concurrent Record calls.
+type SpanSink interface {
+	Record(SpanRecord)
+}
+
+// Tracer hands out hierarchical spans and forwards completed ones to its
+// sink. A nil *Tracer is the disabled fast path: Start returns a nil *Span,
+// and every span method on nil is a no-op with zero allocations.
+type Tracer struct {
+	sink SpanSink
+	ids  atomic.Uint64
+}
+
+// NewTracer returns a tracer writing completed spans to sink.
+func NewTracer(sink SpanSink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink}
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, id: t.ids.Add(1), name: name, start: time.Now()}
+}
+
+// Span is one timed, named region of work. A span and its children must be
+// used from a single goroutine; sibling spans may run on different
+// goroutines. All methods are nil-safe.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+}
+
+// Child opens a sub-span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, id: s.t.ids.Add(1), parent: s.id, name: name, start: time.Now()}
+}
+
+// Set attaches a key/value attribute and returns the span for chaining.
+func (s *Span) Set(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// End closes the span, delivers it to the sink, and returns its duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.t.sink.Record(SpanRecord{
+		ID: s.id, Parent: s.parent, Name: s.name,
+		Start: s.start, Duration: d, Attrs: s.attrs,
+	})
+	return d
+}
+
+// RingSink keeps the most recent spans in a fixed-size in-memory ring buffer.
+type RingSink struct {
+	mu   sync.Mutex
+	buf  []SpanRecord
+	next int
+	full bool
+}
+
+// NewRingSink returns a ring buffer holding up to capacity spans (min 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]SpanRecord, capacity)}
+}
+
+// Record stores one span, evicting the oldest when full.
+func (r *RingSink) Record(rec SpanRecord) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns the buffered spans, oldest first.
+func (r *RingSink) Spans() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]SpanRecord(nil), r.buf[:r.next]...)
+	}
+	out := make([]SpanRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Reset discards all buffered spans.
+func (r *RingSink) Reset() {
+	r.mu.Lock()
+	r.next, r.full = 0, false
+	r.mu.Unlock()
+}
+
+// JSONLSink appends one JSON object per completed span to a writer.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink streaming spans to w as JSON lines.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Record writes one span as a JSON line; encoding errors are dropped (a
+// tracing sink must never fail the traced operation).
+func (s *JSONLSink) Record(rec SpanRecord) {
+	s.mu.Lock()
+	_ = s.enc.Encode(rec)
+	s.mu.Unlock()
+}
+
+// MultiSink fans completed spans out to several sinks.
+func MultiSink(sinks ...SpanSink) SpanSink { return multiSink(sinks) }
+
+type multiSink []SpanSink
+
+func (m multiSink) Record(rec SpanRecord) {
+	for _, s := range m {
+		s.Record(rec)
+	}
+}
+
+// LastRoot returns the most recently started root span (Parent == 0) in
+// spans, and whether one exists.
+func LastRoot(spans []SpanRecord) (SpanRecord, bool) {
+	var best SpanRecord
+	found := false
+	for _, s := range spans {
+		if s.Parent != 0 {
+			continue
+		}
+		if !found || s.Start.After(best.Start) {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+// Subtree returns root's record followed by all its descendants found in
+// spans, in depth-first start order.
+func Subtree(spans []SpanRecord, root uint64) []SpanRecord {
+	children := childIndex(spans)
+	byID := make(map[uint64]SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	var out []SpanRecord
+	var walk func(id uint64)
+	walk = func(id uint64) {
+		if rec, ok := byID[id]; ok {
+			out = append(out, rec)
+		}
+		for _, c := range children[id] {
+			walk(c.ID)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// WriteTree renders spans as indented trees (one per root), children ordered
+// by start time — the :trace view of cmd/saccs-chat.
+func WriteTree(w io.Writer, spans []SpanRecord) {
+	children := childIndex(spans)
+	have := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		have[s.ID] = true
+	}
+	var walk func(rec SpanRecord, depth int)
+	walk = func(rec SpanRecord, depth int) {
+		fmt.Fprintf(w, "%*s%-*s %10s", 2*depth, "", 28-2*depth, rec.Name,
+			rec.Duration.Round(time.Microsecond))
+		for _, a := range rec.Attrs {
+			fmt.Fprintf(w, "  %s=%v", a.Key, a.Value)
+		}
+		fmt.Fprintln(w)
+		for _, c := range children[rec.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, s := range spans {
+		// Roots: true roots, plus spans whose parent is outside the slice.
+		if s.Parent == 0 || !have[s.Parent] {
+			walk(s, 0)
+		}
+	}
+}
+
+// childIndex groups spans by parent ID, each group sorted by start time.
+func childIndex(spans []SpanRecord) map[uint64][]SpanRecord {
+	children := map[uint64][]SpanRecord{}
+	for _, s := range spans {
+		if s.Parent != 0 {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	for _, c := range children {
+		sort.Slice(c, func(i, j int) bool { return c[i].Start.Before(c[j].Start) })
+	}
+	return children
+}

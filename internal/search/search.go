@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"saccs/internal/index"
+	"saccs/internal/obs"
 	"saccs/internal/yelp"
 )
 
@@ -105,6 +106,13 @@ type Ranker struct {
 // it relaxes to entities matched by at least one tag (still within S_api) so
 // the user gets best-effort results instead of nothing.
 func (r *Ranker) Rank(apiResults []string, tags []string) []Scored {
+	return r.RankTraced(nil, apiResults, tags)
+}
+
+// RankTraced is Rank with tracing: when parent is a live span, each tag's
+// index probe becomes an "index.resolve" child annotated with the tag and
+// its posting count. A nil parent costs nothing.
+func (r *Ranker) RankTraced(parent *obs.Span, apiResults []string, tags []string) []Scored {
 	inAPI := make(map[string]bool, len(apiResults))
 	for _, id := range apiResults {
 		inAPI[id] = true
@@ -117,15 +125,21 @@ func (r *Ranker) Rank(apiResults []string, tags []string) []Scored {
 		return out
 	}
 
-	// S_t per tag, restricted to S_api.
+	// S_t per tag, restricted to S_api. ResolveEach iterates exact posting
+	// lists in place instead of copying them per query.
 	perTag := make([]map[string]float64, len(tags))
 	for i, tag := range tags {
+		sp := parent.Child("index.resolve").Set("tag", tag)
 		m := map[string]float64{}
-		for _, entry := range r.Index.Resolve(tag, r.ThetaFilter) {
+		n := 0
+		r.Index.ResolveEach(tag, r.ThetaFilter, func(entry index.Entry) bool {
+			n++
 			if inAPI[entry.EntityID] {
 				m[entry.EntityID] = entry.Degree
 			}
-		}
+			return true
+		})
+		sp.Set("postings", n).Set("in_api", len(m)).End()
 		perTag[i] = m
 	}
 

@@ -16,11 +16,13 @@ package tagger
 
 import (
 	"math/rand"
+	"time"
 
 	"saccs/internal/datasets"
 	"saccs/internal/mat"
 	"saccs/internal/metrics"
 	"saccs/internal/nn"
+	"saccs/internal/obs"
 	"saccs/internal/tokenize"
 )
 
@@ -93,6 +95,11 @@ type Model struct {
 	proj   *nn.Linear
 	crf    *nn.CRF
 	cfg    Config
+
+	// Obs, when set before Train/Predict, records per-epoch training
+	// duration and loss plus per-call Viterbi decode latency. Nil (the
+	// default) costs a single branch per call.
+	Obs *obs.Observer
 }
 
 // New builds an untrained tagger over a (frozen) encoder.
@@ -243,6 +250,10 @@ func (m *Model) Train(examples []datasets.Example) float64 {
 	}
 	shuffle := rand.New(rand.NewSource(m.cfg.Seed + 7))
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		if m.Obs != nil {
+			epochStart = time.Now()
+		}
 		shuffle.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var total float64
 		var n int
@@ -273,6 +284,11 @@ func (m *Model) Train(examples []datasets.Example) float64 {
 		if n > 0 {
 			last = total / float64(n)
 		}
+		if m.Obs != nil {
+			m.Obs.Histogram("tagger.train.epoch").ObserveSince(epochStart)
+			m.Obs.Gauge("tagger.train.loss").Set(last)
+			m.Obs.Counter("tagger.train.epochs.total").Inc()
+		}
 	}
 	m.drop.Train = false
 	return last
@@ -292,6 +308,9 @@ func goldIDs(labels []tokenize.Label, n int) []int {
 // Predict tags a sentence with Viterbi decoding. Tokens beyond the encoder's
 // window fall back to O.
 func (m *Model) Predict(tokens []string) []tokenize.Label {
+	if m.Obs != nil {
+		defer m.Obs.Histogram("tagger.predict").ObserveSince(time.Now())
+	}
 	m.drop.Train = false
 	embeds := m.enc.EncodeTokens(tokens)
 	if len(embeds) == 0 {

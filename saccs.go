@@ -20,8 +20,11 @@ package saccs
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"saccs/internal/automaton"
 	"saccs/internal/core"
@@ -29,6 +32,7 @@ import (
 	"saccs/internal/experiments"
 	"saccs/internal/index"
 	"saccs/internal/lexicon"
+	"saccs/internal/obs"
 	"saccs/internal/pairing"
 	"saccs/internal/parse"
 	"saccs/internal/search"
@@ -105,6 +109,12 @@ type Response struct {
 }
 
 // Client is a trained SACCS pipeline plus a subjective tag index.
+//
+// Concurrency: Query, QueryTags, ExtractTags, TagLabels and the read-only
+// accessors may be called from multiple goroutines (the neural extraction
+// pipeline is stateful and serialized internally; metrics are atomic).
+// IndexEntities, Reindex, and LoadIndex mutate the index and must not run
+// concurrently with queries.
 type Client struct {
 	cfg     Config
 	domain  *lexicon.Domain
@@ -112,6 +122,13 @@ type Client struct {
 	measure sim.Measure
 	idx     *index.Index
 	history *index.History
+
+	// extrMu serializes the extraction pipeline: the MiniBERT encoder and
+	// the BiLSTM-CRF tagger keep per-call caches that are not reentrant.
+	extrMu sync.Mutex
+	// o is the client's always-on metrics registry plus an optional tracer
+	// attached via SetTraceSink.
+	o *obs.Observer
 
 	entities map[string]Entity
 	reviews  []index.EntityReviews
@@ -148,7 +165,10 @@ func New(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("saccs: unknown domain %q", cfg.Domain)
 	}
 
-	enc := experiments.BuildEncoder(experiments.DefaultEncoderOpts(scale), domain, trainTokens(data))
+	o := obs.NewObserver()
+	encOpts := experiments.DefaultEncoderOpts(scale)
+	encOpts.Obs = o
+	enc := experiments.BuildEncoder(encOpts, domain, trainTokens(data))
 	tcfg := tagger.DefaultConfig()
 	if scale == datasets.Paper {
 		tcfg.Epochs = 15
@@ -159,19 +179,24 @@ func New(cfg Config) (*Client, error) {
 		tcfg.Epsilon = 0.2
 	}
 	tg := tagger.New(enc, tcfg)
+	tg.Obs = o
 	tg.Train(data.Train)
 
 	measure := sim.NewConceptual()
+	idx := index.New(measure, cfg.ThetaIndex)
+	idx.SetObserver(o)
 	return &Client{
 		cfg:    cfg,
 		domain: domain,
 		extr: &core.Extractor{
 			Tagger: tg,
 			Pairer: pairing.Tree{Lex: parse.DomainLexicon(domain), FromOpinions: true},
+			Obs:    o,
 		},
 		measure:  measure,
-		idx:      index.New(measure, cfg.ThetaIndex),
+		idx:      idx,
 		history:  index.NewHistory(),
+		o:        o,
 		entities: map[string]Entity{},
 	}, nil
 }
@@ -187,6 +212,8 @@ func trainTokens(d *datasets.Dataset) [][]string {
 // ExtractTags runs the §4+§5 pipeline on free text and returns its
 // subjective tags.
 func (c *Client) ExtractTags(text string) []string {
+	c.extrMu.Lock()
+	defer c.extrMu.Unlock()
 	return c.extr.ExtractTags(text)
 }
 
@@ -216,16 +243,21 @@ func (c *Client) IndexEntities(entities []Entity, tags []string) error {
 		}
 		c.entities[e.ID] = e
 		er := index.EntityReviews{EntityID: e.ID, ReviewCount: len(e.Reviews)}
+		c.extrMu.Lock()
 		for _, r := range e.Reviews {
 			er.Tags = append(er.Tags, c.extr.ExtractTags(r)...)
 		}
+		c.extrMu.Unlock()
 		c.reviews = append(c.reviews, er)
 	}
 	c.idx = index.New(c.measure, c.cfg.ThetaIndex)
+	c.idx.SetObserver(c.o)
 	c.history = index.NewHistory()
-	for _, t := range tags {
-		c.idx.AddTag(strings.ToLower(t), c.reviews)
+	low := make([]string, len(tags))
+	for i, t := range tags {
+		low[i] = strings.ToLower(t)
 	}
+	c.idx.Build(low, c.reviews)
 	return nil
 }
 
@@ -247,11 +279,24 @@ func (c *Client) Reindex() []string {
 // filling, subjective tag extraction, index probing (similar-tag union for
 // unknown tags), and Algorithm 1 filtering & ranking over the indexed
 // entities.
+//
+// Every call updates the client's metrics (see Stats); with a trace sink
+// attached (SetTraceSink) it also produces one root "query" span whose
+// children time each pipeline stage: parse → tagger.decode → pairing.pairs
+// → objective → rank (with per-tag index.resolve spans under rank).
 func (c *Client) Query(utterance string) Response {
+	t0 := time.Now()
+	root := c.o.StartSpan("query").Set("utterance_len", len(utterance))
 	svc := c.serviceView()
-	in := parseIntentSlots(utterance)
 
-	tags := c.extr.ExtractTags(utterance)
+	st := obs.BeginStage(c.o, root, "parse")
+	in := parseIntentSlots(utterance)
+	st.End()
+
+	c.extrMu.Lock()
+	tags := c.extr.ExtractTagsTraced(root, utterance)
+	c.extrMu.Unlock()
+
 	var unknown []string
 	for _, t := range tags {
 		if !c.idx.Has(t) {
@@ -259,8 +304,15 @@ func (c *Client) Query(utterance string) Response {
 			c.history.Add(t)
 		}
 	}
+
+	st = obs.BeginStage(c.o, root, "objective")
 	apiResults := c.objectiveFilter(in.slots)
-	ranked := svc.Rank(apiResults, tags)
+	st.Span().Set("results", len(apiResults))
+	st.End()
+
+	st = obs.BeginStage(c.o, root, "rank")
+	ranked := svc.RankTraced(st.Span(), apiResults, tags)
+	st.End()
 	if c.cfg.TopK > 0 && len(ranked) > c.cfg.TopK {
 		ranked = ranked[:c.cfg.TopK]
 	}
@@ -268,6 +320,12 @@ func (c *Client) Query(utterance string) Response {
 	for i, s := range ranked {
 		results[i] = Result{ID: s.EntityID, Score: s.Score}
 	}
+
+	c.o.Counter("query.total").Inc()
+	c.o.Counter("query.unknown_tags.total").Add(int64(len(unknown)))
+	c.o.Histogram("query.latency").ObserveSince(t0)
+	root.Set("tags", len(tags)).Set("unknown", len(unknown)).Set("results", len(results))
+	root.End()
 	return Response{
 		Intent:      in.name,
 		Slots:       in.slots,
@@ -280,6 +338,7 @@ func (c *Client) Query(utterance string) Response {
 // QueryTags answers a query given directly as subjective tags (no dialog
 // parsing), ranking all indexed entities.
 func (c *Client) QueryTags(tags []string) []Result {
+	t0 := time.Now()
 	svc := c.serviceView()
 	for _, t := range tags {
 		if !c.idx.Has(strings.ToLower(t)) {
@@ -303,6 +362,8 @@ func (c *Client) QueryTags(tags []string) []Result {
 	for i, s := range ranked {
 		out[i] = Result{ID: s.EntityID, Score: s.Score}
 	}
+	c.o.Counter("query.tags.total").Inc()
+	c.o.Histogram("query.latency").ObserveSince(t0)
 	return out
 }
 
@@ -316,11 +377,72 @@ func (c *Client) Entity(id string) (Entity, bool) {
 // — the raw §4 view, useful for inspection and debugging.
 func (c *Client) TagLabels(sentence string) (tokens []string, labels []string) {
 	tokens = tokenize.Words(sentence)
+	c.extrMu.Lock()
+	defer c.extrMu.Unlock()
 	for _, l := range c.extr.Tagger.Predict(tokens) {
 		labels = append(labels, l.String())
 	}
 	return tokens, labels
 }
+
+// --- observability ----------------------------------------------------------
+
+// Stats snapshots the client's runtime metrics: query counters, per-stage
+// latency histograms (stage.parse, stage.tagger.decode, stage.pairing.pairs,
+// stage.objective, stage.rank), index build/resolve instruments, and the
+// training gauges recorded while New trained the pipeline. Metrics are
+// always on; their cost is a few atomic operations per query.
+func (c *Client) Stats() obs.Snapshot { return c.o.Metrics.Snapshot() }
+
+// SetTraceSink enables span tracing into sink (for example
+// obs.NewRingSink(512) or obs.NewJSONLSink(file)); a nil sink disables
+// tracing again. Disabled tracing costs nothing on the query path. The sink
+// swap is atomic and may happen while queries are in flight.
+func (c *Client) SetTraceSink(sink obs.SpanSink) {
+	c.o.SetTracer(obs.NewTracer(sink))
+}
+
+// Observer exposes the client's observability handle — useful to serve the
+// metrics registry over HTTP (obs.Serve) or attach custom instruments.
+func (c *Client) Observer() *obs.Observer { return c.o }
+
+// ServeMetrics starts an HTTP server exposing the client's metrics registry
+// in Prometheus text format at /metrics and the pprof handlers under
+// /debug/pprof. The returned server's Addr holds the bound address (useful
+// with ":0"); shut it down with its Close/Shutdown methods.
+func (c *Client) ServeMetrics(addr string) (*http.Server, error) {
+	return obs.Serve(addr, c.o.Metrics)
+}
+
+// The observability vocabulary is re-exported as aliases so module
+// consumers can use Stats/SetTraceSink without importing the internal obs
+// package (which the compiler forbids outside this module).
+type (
+	// Snapshot is a point-in-time copy of the metrics registry.
+	Snapshot = obs.Snapshot
+	// SpanSink receives finished trace spans.
+	SpanSink = obs.SpanSink
+	// SpanRecord is one finished span: ID, parent, name, start, duration,
+	// and key/value attributes.
+	SpanRecord = obs.SpanRecord
+	// RingSink is a fixed-capacity in-memory span sink.
+	RingSink = obs.RingSink
+)
+
+// NewRingSink returns an in-memory sink holding the last capacity spans.
+func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
+
+// NewJSONLSink returns a sink writing one JSON object per span to w.
+func NewJSONLSink(w io.Writer) SpanSink { return obs.NewJSONLSink(w) }
+
+// LastRootSpan returns the most recently finished root span among spans.
+func LastRootSpan(spans []SpanRecord) (SpanRecord, bool) { return obs.LastRoot(spans) }
+
+// SpanSubtree filters spans down to root's subtree (root included).
+func SpanSubtree(spans []SpanRecord, root uint64) []SpanRecord { return obs.Subtree(spans, root) }
+
+// WriteSpanTree renders spans as an indented tree with durations and attrs.
+func WriteSpanTree(w io.Writer, spans []SpanRecord) { obs.WriteTree(w, spans) }
 
 // --- small internal helpers -------------------------------------------------
 
@@ -369,7 +491,7 @@ func (c *Client) LoadIndex(r io.Reader) error { return c.idx.Load(r) }
 // returns the input unchanged when nothing is close enough.
 func (c *Client) CorrectTag(tag string) string {
 	trie := automaton.New()
-	trie.AddAll(c.idx.Tags())
+	c.idx.EachTag(func(t string) bool { trie.Add(t); return true })
 	if fixed, ok := trie.Closest(strings.ToLower(tag), 2); ok {
 		return fixed
 	}
