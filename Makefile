@@ -1,18 +1,21 @@
 # Tier-1 verification lives behind `make ci`: vet + build + race-enabled
-# tests. The race run uses -short because the full experiment harness
-# (internal/experiments regenerates every paper table) exceeds go test's
-# timeout under the race detector; -short skips only those heavy
-# regenerators — the concurrency tests (saccs root package, internal/obs)
-# always run. `make race-full` races the whole suite when you have ~an hour.
+# tests + a short parallel-throughput smoke run of saccs-bench. The race run
+# uses -short because the full experiment harness (internal/experiments
+# regenerates every paper table) exceeds go test's timeout under the race
+# detector; -short skips only those heavy regenerators — the concurrency
+# tests (saccs root package, internal/obs, internal/index) always run.
+# `make race-full` races the whole suite when you have ~an hour.
 
 GO ?= go
 
-.PHONY: ci vet build test test-short race race-full bench
+.PHONY: ci vet build test test-short race race-full bench bench-smoke
 
-ci: vet build race
+ci: vet build race bench-smoke
 
+# ./... covers every package in the module; cmd/ and examples/ are listed
+# explicitly so the gate still covers them if the root pattern is narrowed.
 vet:
-	$(GO) vet ./...
+	$(GO) vet ./... ./cmd/... ./examples/...
 
 build:
 	$(GO) build ./...
@@ -31,3 +34,9 @@ race-full:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-smoke exercises the parallel query path end-to-end for a fraction of
+# a second — enough to catch a deadlock or crash in the concurrent pipeline
+# without slowing CI. It writes no BENCH.json.
+bench-smoke:
+	$(GO) run ./cmd/saccs-bench -only parallel -parallel 4 -parallel-dur 300ms -bench-out ""

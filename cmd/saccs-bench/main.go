@@ -9,10 +9,16 @@
 // query) and writes the results both as a human-readable table and as
 // machine-readable JSON (-bench-out, default BENCH.json).
 //
+// The "parallel" section measures end-to-end query throughput at one
+// goroutine and at -parallel goroutines over the same pipeline — the
+// concurrency contract of the facade (reentrant extraction, RWMutex index).
+// Both sections append to the same BENCH.json.
+//
 // Usage:
 //
 //	saccs-bench [-scale fast|paper]
-//	            [-only table2,table3,table4,table5,figures,stages]
+//	            [-only table2,table3,table4,table5,figures,stages,parallel]
+//	            [-parallel N] [-parallel-dur 2s]
 //	            [-bench-out BENCH.json] [-metrics-addr :9090]
 package main
 
@@ -21,7 +27,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -41,9 +50,11 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "fast", "experiment scale: fast or paper")
-	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures,stages")
-	benchOut := flag.String("bench-out", "BENCH.json", "file for the machine-readable stage benchmark results (empty disables)")
+	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures,stages,parallel")
+	benchOut := flag.String("bench-out", "BENCH.json", "file for the machine-readable benchmark results (empty disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
+	parallelN := flag.Int("parallel", runtime.GOMAXPROCS(0), "goroutines for the parallel query benchmark")
+	parallelDur := flag.Duration("parallel-dur", 2*time.Second, "duration of each parallel benchmark pass")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -83,6 +94,7 @@ func main() {
 		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
+	doc := &benchFile{Command: strings.TrimSpace("saccs-bench " + strings.Join(os.Args[1:], " "))}
 	run("table3", func() { experiments.Table3(scale, os.Stdout) })
 	run("figures", func() {
 		experiments.Figure1(os.Stdout)
@@ -92,7 +104,20 @@ func main() {
 	run("table5", func() { experiments.Table5(scale, os.Stdout) })
 	run("table4", func() { experiments.Table4(scale, os.Stdout) })
 	run("table2", func() { experiments.Table2(scale, os.Stdout) })
-	run("stages", func() { stageBenchmarks(o, *benchOut) })
+	run("stages", func() { stageBenchmarks(o, doc) })
+	run("parallel", func() { parallelBenchmarks(o, doc, *parallelN, *parallelDur) })
+
+	if *benchOut != "" && (len(doc.Stages) > 0 || len(doc.Parallel) > 0) {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d stages, %d parallel passes)\n", *benchOut, len(doc.Stages), len(doc.Parallel))
+	}
 }
 
 // stageResult is one row of BENCH.json.
@@ -104,37 +129,64 @@ type stageResult struct {
 	Iterations  int     `json:"iterations"`
 }
 
+// parallelResult is one throughput pass of the parallel benchmark.
+type parallelResult struct {
+	Goroutines int     `json:"goroutines"`
+	Queries    int64   `json:"queries"`
+	Seconds    float64 `json:"seconds"`
+	QPS        float64 `json:"qps"`
+}
+
 // benchFile is the BENCH.json document.
 type benchFile struct {
-	Command string        `json:"command"`
-	Stages  []stageResult `json:"stages"`
+	Command  string           `json:"command"`
+	Stages   []stageResult    `json:"stages,omitempty"`
+	Parallel []parallelResult `json:"parallel,omitempty"`
+}
+
+// benchPipeline builds the fast pipeline the stage and parallel benchmarks
+// measure: trained tagger, tree pairer, service with the first 8 canonical
+// tags indexed. Built once and shared between sections.
+var benchPipeline struct {
+	once sync.Once
+	svc  *core.Service
+	ex   *core.Extractor
+	tg   *tagger.Model
+}
+
+func buildBenchPipeline(o *obs.Observer) (*core.Service, *core.Extractor, *tagger.Model) {
+	benchPipeline.once.Do(func() {
+		fmt.Println("building the fast pipeline for the benchmarks...")
+		world := yelp.Generate(yelp.FastConfig())
+		data := datasets.S1(datasets.Fast)
+		encOpts := experiments.DefaultEncoderOpts(datasets.Fast)
+		encOpts.Obs = o
+		enc := experiments.BuildEncoder(encOpts, world.Domain, nil)
+		cfg := tagger.DefaultConfig()
+		cfg.Adversarial = true
+		cfg.Epsilon = 0.2
+		tg := tagger.New(enc, cfg)
+		tg.Obs = o
+		tg.Train(data.Train)
+		ex := &core.Extractor{
+			Tagger: tg,
+			Pairer: pairing.Tree{Lex: parse.DomainLexicon(world.Domain), FromOpinions: true},
+		}
+		svc := core.NewService(world, ex, nil, core.DefaultConfig())
+		svc.SetObserver(o)
+		svc.BuildEntityTags(core.NeuralSource{E: ex})
+		svc.IndexTags(svc.CanonicalTags()[:8])
+		benchPipeline.svc, benchPipeline.ex, benchPipeline.tg = svc, ex, tg
+	})
+	return benchPipeline.svc, benchPipeline.ex, benchPipeline.tg
 }
 
 // stageBenchmarks measures every query-path stage in isolation with
-// testing.Benchmark and reports ns/op plus allocation counts, writing both a
-// human table and (when outPath is non-empty) machine-readable JSON.
-func stageBenchmarks(o *obs.Observer, outPath string) {
-	fmt.Println("building the fast pipeline for the stage benchmarks...")
-	world := yelp.Generate(yelp.FastConfig())
-	data := datasets.S1(datasets.Fast)
-	encOpts := experiments.DefaultEncoderOpts(datasets.Fast)
-	encOpts.Obs = o
-	enc := experiments.BuildEncoder(encOpts, world.Domain, nil)
-	cfg := tagger.DefaultConfig()
-	cfg.Adversarial = true
-	cfg.Epsilon = 0.2
-	tg := tagger.New(enc, cfg)
-	tg.Obs = o
-	tg.Train(data.Train)
-	ex := &core.Extractor{
-		Tagger: tg,
-		Pairer: pairing.Tree{Lex: parse.DomainLexicon(world.Domain), FromOpinions: true},
-	}
-	svc := core.NewService(world, ex, nil, core.DefaultConfig())
-	svc.SetObserver(o)
-	svc.BuildEntityTags(core.NeuralSource{E: ex})
+// testing.Benchmark and reports ns/op plus allocation counts, printing a
+// human table and appending rows to doc.
+func stageBenchmarks(o *obs.Observer, doc *benchFile) {
+	svc, ex, tg := buildBenchPipeline(o)
 	canon := svc.CanonicalTags()
-	svc.IndexTags(canon[:8])
 
 	utterance := "I want an Italian restaurant in Montreal with delicious food and nice staff"
 	tokens := tokenize.Words(utterance)
@@ -201,18 +253,63 @@ func stageBenchmarks(o *obs.Observer, outPath string) {
 		results = append(results, row)
 		fmt.Printf("%-22s %14.0f %12d %12d\n", row.Name, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
 	}
+	doc.Stages = results
+}
 
-	if outPath == "" {
-		return
+// parallelBenchmarks measures end-to-end Query throughput at 1 and at
+// workers goroutines over one shared pipeline — the single- vs
+// multi-goroutine QPS the concurrency work targets. On a single-core
+// machine the two passes are expected to tie; the speedup column only means
+// something with GOMAXPROCS > 1.
+func parallelBenchmarks(o *obs.Observer, doc *benchFile, workers int, dur time.Duration) {
+	if workers < 1 {
+		workers = 1
 	}
-	doc := benchFile{Command: "saccs-bench -only stages", Stages: results}
-	data2, err := json.MarshalIndent(doc, "", "  ")
-	if err == nil {
-		err = os.WriteFile(outPath, append(data2, '\n'), 0o644)
+	svc, _, _ := buildBenchPipeline(o)
+	utterances := []string{
+		"I want an Italian restaurant in Montreal with delicious food",
+		"somewhere with friendly staff and a quiet atmosphere",
+		"good food and attentive waiters please",
+		"a place with creative cooking and amazing pizza",
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "writing %s: %v\n", outPath, err)
-		return
+	measure := func(g int) parallelResult {
+		var n atomic.Int64
+		var wg sync.WaitGroup
+		deadline := time.Now().Add(dur)
+		start := time.Now()
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; time.Now().Before(deadline); i++ {
+					svc.Query(utterances[i%len(utterances)])
+					n.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		return parallelResult{
+			Goroutines: g,
+			Queries:    n.Load(),
+			Seconds:    elapsed,
+			QPS:        float64(n.Load()) / elapsed,
+		}
 	}
-	fmt.Printf("wrote %s (%d stages)\n", outPath, len(results))
+	gs := []int{1}
+	if workers > 1 {
+		gs = append(gs, workers)
+	}
+	fmt.Printf("%-12s %10s %10s %12s\n", "goroutines", "queries", "seconds", "qps")
+	var rows []parallelResult
+	for _, g := range gs {
+		r := measure(g)
+		rows = append(rows, r)
+		fmt.Printf("%-12d %10d %10.2f %12.1f\n", r.Goroutines, r.Queries, r.Seconds, r.QPS)
+	}
+	if len(rows) == 2 && rows[0].QPS > 0 {
+		fmt.Printf("speedup %dx goroutines: %.2fx (GOMAXPROCS=%d)\n",
+			rows[1].Goroutines, rows[1].QPS/rows[0].QPS, runtime.GOMAXPROCS(0))
+	}
+	doc.Parallel = rows
 }

@@ -90,6 +90,42 @@ func (m *MultiHeadAttention) ForwardSeq(xs []mat.Vec) []mat.Vec {
 	return m.Wo.ForwardSeq(c.headOut)
 }
 
+// InferSeq runs self-attention without touching the receiver's cache — the
+// reentrant inference path. Attention weights are computed into the scratch
+// buffers and discarded, so Attention() reflects the last ForwardSeq, not
+// InferSeq. Safe for concurrent callers (each with its own scratch).
+func (m *MultiHeadAttention) InferSeq(xs []mat.Vec, s *Scratch) []mat.Vec {
+	n := len(xs)
+	q := m.Wq.ForwardSeq(xs)
+	k := m.Wk.ForwardSeq(xs)
+	v := m.Wv.ForwardSeq(xs)
+	scale := 1 / math.Sqrt(float64(m.HeadDim))
+	headOut := make([]mat.Vec, n)
+	for i := range headOut {
+		headOut[i] = mat.NewVec(m.Dim)
+	}
+	scores, a := s.rows(n)
+	for h := 0; h < m.Heads; h++ {
+		lo := h * m.HeadDim
+		hi := lo + m.HeadDim
+		for i := 0; i < n; i++ {
+			qi := q[i][lo:hi]
+			for j := 0; j < n; j++ {
+				scores[j] = mat.Vec(qi).Dot(k[j][lo:hi]) * scale
+			}
+			mat.Softmax(a, scores)
+			out := headOut[i][lo:hi]
+			for j := 0; j < n; j++ {
+				if a[j] == 0 {
+					continue
+				}
+				mat.Vec(out).AddScaled(a[j], v[j][lo:hi])
+			}
+		}
+	}
+	return m.Wo.ForwardSeq(headOut)
+}
+
 // Attention returns the cached attention matrix of one head: row i is token
 // i's distribution over the sequence (Fig. 5's heatmap rows).
 func (m *MultiHeadAttention) Attention(head int) []mat.Vec {

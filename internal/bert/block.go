@@ -77,6 +77,33 @@ func (b *Block) ForwardSeq(xs []mat.Vec) []mat.Vec {
 	return b.LN2.ForwardSeq(c.res2In)
 }
 
+// InferSeq runs the layer without writing the receiver's cache — the
+// reentrant inference path (no BackwardSeq, no Attention readback). Safe for
+// concurrent callers, each with its own scratch.
+func (b *Block) InferSeq(xs []mat.Vec, s *Scratch) []mat.Vec {
+	attnOut := b.Attn.InferSeq(xs, s)
+	res1 := make([]mat.Vec, len(xs))
+	for i := range xs {
+		v := xs[i].Clone()
+		v.Add(attnOut[i])
+		res1[i] = v
+	}
+	h1 := b.LN1.ApplySeq(res1)
+	ffPre := b.FF1.ForwardSeq(h1)
+	ffAct := make([]mat.Vec, len(xs))
+	for i := range ffPre {
+		ffAct[i] = nn.GELUVec(ffPre[i])
+	}
+	ffnOuts := b.FF2.ForwardSeq(ffAct)
+	res2 := make([]mat.Vec, len(xs))
+	for i := range xs {
+		v := h1[i].Clone()
+		v.Add(ffnOuts[i])
+		res2[i] = v
+	}
+	return b.LN2.ApplySeq(res2)
+}
+
 // BackwardSeq backpropagates through the most recent ForwardSeq.
 func (b *Block) BackwardSeq(dys []mat.Vec) []mat.Vec {
 	c := b.cache

@@ -70,6 +70,29 @@ func (ln *LayerNorm) ForwardSeq(xs []mat.Vec) []mat.Vec {
 	return ys
 }
 
+// ApplySeq normalizes each vector without caching intermediates: the
+// reentrant inference path. Unlike ForwardSeq it writes no receiver state,
+// so any number of goroutines may call it concurrently (BackwardSeq still
+// requires a prior ForwardSeq).
+func (ln *LayerNorm) ApplySeq(xs []mat.Vec) []mat.Vec {
+	ys := make([]mat.Vec, len(xs))
+	for t, x := range xs {
+		mean := x.Mean()
+		var varSum float64
+		for _, v := range x {
+			d := v - mean
+			varSum += d * d
+		}
+		std := math.Sqrt(varSum/float64(len(x)) + ln.Eps)
+		y := mat.NewVec(len(x))
+		for i, v := range x {
+			y[i] = (v-mean)/std*ln.Gain.W.Data[i] + ln.Bias.W.Data[i]
+		}
+		ys[t] = y
+	}
+	return ys
+}
+
 // BackwardSeq backpropagates through the most recent ForwardSeq.
 func (ln *LayerNorm) BackwardSeq(dys []mat.Vec) []mat.Vec {
 	dxs := make([]mat.Vec, len(dys))

@@ -3,6 +3,7 @@ package bert
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"saccs/internal/mat"
@@ -44,10 +45,35 @@ type Model struct {
 	lastIDs    []int
 	lastEmbeds []mat.Vec
 
+	// scratch recycles per-call inference buffers across goroutines; see
+	// Infer. Counters (attached via SetObserver) track pool traffic:
+	// hits = gets − misses.
+	scratch sync.Pool
+
 	// observability (nil when disabled; see SetObserver).
-	o         *obs.Observer
-	encHist   *obs.Histogram
-	encTokens *obs.Counter
+	o           *obs.Observer
+	encHist     *obs.Histogram
+	encTokens   *obs.Counter
+	scratchGets *obs.Counter
+	scratchMiss *obs.Counter
+}
+
+// Scratch holds the per-call buffers of one inference forward pass (the
+// attention score row and softmax row). A Scratch belongs to exactly one
+// in-flight Infer call; the model's sync.Pool recycles them so concurrent
+// queries do not allocate fresh rows per attention head.
+type Scratch struct {
+	scores mat.Vec
+	attn   mat.Vec
+}
+
+// rows returns the score and softmax buffers grown to length n.
+func (s *Scratch) rows(n int) (scores, attn mat.Vec) {
+	if cap(s.scores) < n {
+		s.scores = mat.NewVec(n)
+		s.attn = mat.NewVec(n)
+	}
+	return s.scores[:n], s.attn[:n]
 }
 
 // SetObserver attaches runtime observability: every Encode records its
@@ -58,10 +84,13 @@ func (m *Model) SetObserver(o *obs.Observer) {
 	m.o = o
 	if o == nil {
 		m.encHist, m.encTokens = nil, nil
+		m.scratchGets, m.scratchMiss = nil, nil
 		return
 	}
 	m.encHist = o.Histogram("bert.encode")
 	m.encTokens = o.Counter("bert.encode.tokens.total")
+	m.scratchGets = o.Counter("bert.scratch.get.total")
+	m.scratchMiss = o.Counter("bert.scratch.miss.total")
 }
 
 // New builds a randomly initialized MiniBERT over the given vocabulary.
@@ -75,6 +104,10 @@ func New(rng *rand.Rand, cfg Config, vocab *tokenize.Vocab) *Model {
 	}
 	for i := 0; i < cfg.Layers; i++ {
 		m.Blocks = append(m.Blocks, NewBlock(rng, fmt.Sprintf("bert.block%d", i), cfg.Dim, cfg.Heads, cfg.FFDim))
+	}
+	m.scratch.New = func() any {
+		m.scratchMiss.Inc()
+		return &Scratch{}
 	}
 	return m
 }
@@ -134,6 +167,42 @@ func (m *Model) EncodeTokens(tokens []string) []mat.Vec {
 	return m.Encode(m.Vocab.Encode(tokens))
 }
 
+// Infer is the reentrant counterpart of Encode: the same forward pass, but
+// no receiver state is written, so any number of goroutines may infer
+// concurrently. Per-call buffers come from an internal sync.Pool. Because
+// no caches are kept, Backward and Attention do not see Infer calls — use
+// Encode for training and for the §5.1 attention-pairing readback.
+func (m *Model) Infer(ids []int) []mat.Vec {
+	if m.o != nil {
+		defer m.encHist.ObserveSince(time.Now())
+		m.encTokens.Add(int64(len(ids)))
+	}
+	ids = m.truncate(ids)
+	xs := make([]mat.Vec, len(ids))
+	for i, id := range ids {
+		v := m.TokEmb.Lookup(id)
+		v.Add(m.PosEmb.Table.W.Row(i))
+		xs[i] = v
+	}
+	m.scratchGets.Inc()
+	s, _ := m.scratch.Get().(*Scratch)
+	if s == nil { // zero-value Model built without New
+		s = &Scratch{}
+	}
+	h := xs
+	for _, b := range m.Blocks {
+		h = b.InferSeq(h, s)
+	}
+	m.scratch.Put(s)
+	return h
+}
+
+// InferTokens tokenizes against the model vocabulary and runs the reentrant
+// forward pass (see Infer).
+func (m *Model) InferTokens(tokens []string) []mat.Vec {
+	return m.Infer(m.Vocab.Encode(tokens))
+}
+
 // Backward backpropagates upstream gradients through the blocks and the
 // embeddings of the most recent Encode. It returns the gradient with respect
 // to the summed token+position input embeddings (useful for FGSM).
@@ -163,8 +232,10 @@ func (m *Model) EmbeddingDim() int { return m.Cfg.Dim }
 
 // SentenceVec encodes tokens and mean-pools the contextual vectors — the
 // sentence encoding used by the discriminative pairing classifier (§5.2).
+// It runs the reentrant forward pass, so similarity measures built on it
+// (sim.Cosine) are safe under concurrent queries.
 func (m *Model) SentenceVec(tokens []string) mat.Vec {
-	hs := m.EncodeTokens(tokens)
+	hs := m.InferTokens(tokens)
 	out := mat.NewVec(m.Cfg.Dim)
 	if len(hs) == 0 {
 		return out

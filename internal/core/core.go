@@ -7,8 +7,11 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"saccs/internal/corpus"
@@ -209,6 +212,11 @@ type Service struct {
 	// Obs is the service's observability handle (nil when disabled); use
 	// SetObserver to attach it so the index and extractor are wired too.
 	Obs *obs.Observer
+	// Workers bounds BuildEntityTags' extraction fan-out: 0 (the default)
+	// uses GOMAXPROCS, 1 forces serial extraction. Set 1 when the extractor
+	// is not reentrant — every production Tagger/Pairer in this repo is, but
+	// the attention-readback pairing heuristic (pairing.Attention) is not.
+	Workers int
 
 	entityTags []index.EntityReviews
 }
@@ -243,23 +251,58 @@ func NewService(w *yelp.World, ex *Extractor, measure sim.Measure, cfg Config) *
 }
 
 // BuildEntityTags runs the tag source over every review once and caches the
-// per-entity tag multisets the indexer consumes.
+// per-entity tag multisets the indexer consumes. Extraction fans out across
+// at most Workers goroutines, one entity per task; each entity's result lands
+// in its input-order slot, so the cached tag multisets are identical for any
+// worker count.
 func (s *Service) BuildEntityTags(src ReviewTagSource) {
 	var t0 time.Time
 	if s.Obs != nil {
 		t0 = time.Now()
 	}
-	s.entityTags = s.entityTags[:0]
-	for _, e := range s.World.Entities {
+	out := make([]index.EntityReviews, len(s.World.Entities))
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(s.World.Entities) {
+		w = len(s.World.Entities)
+	}
+	extract := func(i int) {
+		e := s.World.Entities[i]
 		er := index.EntityReviews{EntityID: e.ID, ReviewCount: len(e.Reviews)}
 		for _, r := range e.Reviews {
 			er.Tags = append(er.Tags, src.Tags(r)...)
 		}
-		s.entityTags = append(s.entityTags, er)
+		out[i] = er
 	}
+	if w <= 1 {
+		for i := range s.World.Entities {
+			extract(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(s.World.Entities) {
+						return
+					}
+					extract(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	s.entityTags = out
 	if s.Obs != nil {
 		s.Obs.Histogram("extract.reviews").ObserveSince(t0)
 		s.Obs.Gauge("extract.entities").Set(float64(len(s.entityTags)))
+		s.Obs.Gauge("extract.workers").Set(float64(w))
 	}
 }
 
@@ -277,12 +320,11 @@ func (s *Service) ResetIndex() {
 	s.Ranker = &search.Ranker{Index: s.Index, ThetaFilter: s.Cfg.ThetaFilter, Agg: s.Cfg.Agg}
 }
 
-// IndexTags runs an indexing round for the given tags (Fig. 1's indexer).
+// IndexTags runs an indexing round for the given tags (Fig. 1's indexer),
+// fanning out across the index's worker pool (index.Index.SetWorkers).
 // BuildEntityTags must have run first.
 func (s *Service) IndexTags(tags []string) {
-	for _, t := range tags {
-		s.Index.AddTag(strings.ToLower(t), s.entityTags)
-	}
+	s.Index.Build(lower(tags), s.entityTags)
 }
 
 // IndexPending drains the user tag history into the index — the adaptive

@@ -31,10 +31,14 @@ func DynamicTheta(base float64, tag string) float64 {
 	return base - specificity
 }
 
-// ResolveDynamic is Resolve with a per-tag dynamic θ_filter.
+// ResolveDynamic is Resolve with a per-tag dynamic θ_filter. It takes the
+// shared lock exactly once, so the exact-hit check and the similar-tag union
+// see one consistent index state.
 func (ix *Index) ResolveDynamic(tag string, baseTheta float64) []Entry {
-	if ix.Has(tag) {
-		return ix.Lookup(tag)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if entries, ok := ix.tags[tag]; ok {
+		return append([]Entry(nil), entries...)
 	}
-	return ix.LookupSimilar(tag, DynamicTheta(baseTheta, tag))
+	return ix.lookupSimilarLocked(tag, DynamicTheta(baseTheta, tag))
 }

@@ -8,10 +8,22 @@
 // tag exceeds θ_index. Unknown query tags are answered by combining similar
 // index tags (§3.2) and queued in the user tag history for the next indexing
 // round — the adaptive loop of Fig. 1.
+//
+// # Concurrency
+//
+// Index is safe for concurrent use: reads (Has, Lookup, Resolve, ResolveEach,
+// Save, …) take a shared lock, writes (AddTag, Build, Load) an exclusive one,
+// so queries on parallel conversations can overlap with indexing rounds.
+// Build and AddTag additionally fan their Eq. 1 work out across a bounded
+// worker pool (SetWorkers) — Build across tags, AddTag across entity chunks —
+// and merge deterministically, so a parallel build is byte-identical to a
+// serial one. Similarity scores are cached in a bounded sim.Memo, so a
+// repeated (tag, reviewTag) pair is never recomputed.
 package index
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -43,7 +55,14 @@ type EntityReviews struct {
 
 // Index is the subjective tag inverted index.
 type Index struct {
-	measure    sim.Measure
+	// mu guards every field below it. Public methods take it exactly once
+	// (Go's RWMutex is not reentrant); internal helpers assume it is held.
+	mu sync.RWMutex
+
+	// memo caches the similarity measure's pairwise scores (bounded, sharded,
+	// safe for concurrent use). It wraps the measure passed to New.
+	memo *sim.Memo
+
 	thetaIndex float64
 	// reviewWeight applies Eq. 1's log(|Re|+1) factor; disabling it is the
 	// ablation of the review-count weighting design choice.
@@ -51,40 +70,54 @@ type Index struct {
 	// frequencyAware scales degrees by the square root of the matched
 	// mention rate (mentions per review).
 	frequencyAware bool
+	// workers bounds the indexing worker pool; 0 means GOMAXPROCS.
+	workers int
 	// tags maps an index tag to its posting list, sorted by degree desc.
 	tags map[string][]Entry
 	// order preserves insertion order for deterministic iteration.
 	order []string
 
 	// observability (nil when disabled; see SetObserver).
-	o           *obs.Observer
-	addTagHist  *obs.Histogram
-	buildHist   *obs.Histogram
-	resolveHist *obs.Histogram
-	tagsGauge   *obs.Gauge
-	entriesCtr  *obs.Counter
-	matchedCtr  *obs.Counter
-	conflictCtr *obs.Counter
-	exactCtr    *obs.Counter
-	similarCtr  *obs.Counter
+	o            *obs.Observer
+	addTagHist   *obs.Histogram
+	buildHist    *obs.Histogram
+	resolveHist  *obs.Histogram
+	tagsGauge    *obs.Gauge
+	workersGauge *obs.Gauge
+	entriesCtr   *obs.Counter
+	matchedCtr   *obs.Counter
+	conflictCtr  *obs.Counter
+	exactCtr     *obs.Counter
+	similarCtr   *obs.Counter
 }
 
 // New returns an empty index using the given similarity measure and
 // θ_index threshold for review-tag matching. Eq. 1's review-count weighting
-// is on by default.
+// is on by default, as is the similarity memo; the worker pool defaults to
+// GOMAXPROCS.
 func New(measure sim.Measure, thetaIndex float64) *Index {
-	return &Index{measure: measure, thetaIndex: thetaIndex, reviewWeight: true, frequencyAware: true, tags: map[string][]Entry{}}
+	return &Index{
+		memo:           sim.NewMemo(measure),
+		thetaIndex:     thetaIndex,
+		reviewWeight:   true,
+		frequencyAware: true,
+		tags:           map[string][]Entry{},
+	}
 }
 
 // SetObserver attaches runtime observability: indexing rounds record build
-// latency and tag/entry counts, lookups record resolution latency and
-// exact-vs-similar hit counters. Call before concurrent use; a nil observer
+// latency, worker count, and tag/entry counts; lookups record resolution
+// latency and exact-vs-similar hit counters; the similarity memo reports its
+// hit/miss/eviction traffic. Call before concurrent use; a nil observer
 // (the default) keeps every hot path free of instrumentation cost.
 func (ix *Index) SetObserver(o *obs.Observer) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	ix.o = o
+	ix.memo.SetObserver(o)
 	if o == nil {
 		ix.addTagHist, ix.buildHist, ix.resolveHist = nil, nil, nil
-		ix.tagsGauge = nil
+		ix.tagsGauge, ix.workersGauge = nil, nil
 		ix.entriesCtr, ix.matchedCtr, ix.conflictCtr = nil, nil, nil
 		ix.exactCtr, ix.similarCtr = nil, nil
 		return
@@ -93,6 +126,7 @@ func (ix *Index) SetObserver(o *obs.Observer) {
 	ix.buildHist = o.Histogram("index.build")
 	ix.resolveHist = o.Histogram("index.resolve")
 	ix.tagsGauge = o.Gauge("index.tags")
+	ix.workersGauge = o.Gauge("index.build.workers")
 	ix.entriesCtr = o.Counter("index.entries.total")
 	ix.matchedCtr = o.Counter("index.matched_mentions.total")
 	ix.conflictCtr = o.Counter("index.contradicted_mentions.total")
@@ -102,24 +136,89 @@ func (ix *Index) SetObserver(o *obs.Observer) {
 
 // SetReviewWeighting toggles Eq. 1's log(|Re|+1) factor (ablation knob).
 // It affects subsequent AddTag calls only.
-func (ix *Index) SetReviewWeighting(on bool) { ix.reviewWeight = on }
+func (ix *Index) SetReviewWeighting(on bool) {
+	ix.mu.Lock()
+	ix.reviewWeight = on
+	ix.mu.Unlock()
+}
 
 // SetFrequencyAware toggles the mention-rate factor (ablation knob).
-func (ix *Index) SetFrequencyAware(on bool) { ix.frequencyAware = on }
+func (ix *Index) SetFrequencyAware(on bool) {
+	ix.mu.Lock()
+	ix.frequencyAware = on
+	ix.mu.Unlock()
+}
+
+// SetWorkers bounds the indexing worker pool: Build fans out across tags and
+// AddTag across entity chunks with at most n goroutines. n ≤ 0 restores the
+// default (GOMAXPROCS); n = 1 forces serial indexing. The merged result is
+// identical for every worker count.
+func (ix *Index) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	ix.mu.Lock()
+	ix.workers = n
+	ix.mu.Unlock()
+}
+
+// MemoStats returns the similarity memo's lifetime hits, misses, and
+// whole-shard evictions.
+func (ix *Index) MemoStats() (hits, misses, evictions int64) {
+	return ix.memo.Stats()
+}
+
+// degCfg is an immutable snapshot of the knobs Eq. 1 depends on, taken once
+// per indexing round so worker goroutines never race the Set* methods.
+type degCfg struct {
+	theta          float64
+	reviewWeight   bool
+	frequencyAware bool
+	workers        int
+	matchedCtr     *obs.Counter
+	conflictCtr    *obs.Counter
+}
+
+// snapshotCfg captures the indexing configuration under the read lock.
+func (ix *Index) snapshotCfg() degCfg {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	w := ix.workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return degCfg{
+		theta:          ix.thetaIndex,
+		reviewWeight:   ix.reviewWeight,
+		frequencyAware: ix.frequencyAware,
+		workers:        w,
+		matchedCtr:     ix.matchedCtr,
+		conflictCtr:    ix.conflictCtr,
+	}
+}
 
 // Has reports whether tag is an index key (§3.2's "t ∈ index.keys").
 func (ix *Index) Has(tag string) bool {
+	ix.mu.RLock()
 	_, ok := ix.tags[tag]
+	ix.mu.RUnlock()
 	return ok
 }
 
 // Tags returns the index keys in insertion order (a defensive copy; the
 // query path should prefer EachTag, which does not allocate).
-func (ix *Index) Tags() []string { return append([]string(nil), ix.order...) }
+func (ix *Index) Tags() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return append([]string(nil), ix.order...)
+}
 
 // EachTag calls f for every index key in insertion order, stopping early
-// when f returns false. Unlike Tags it performs no copy.
+// when f returns false. Unlike Tags it performs no copy. f must not call
+// back into the index (the lock is held).
 func (ix *Index) EachTag(f func(tag string) bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	for _, t := range ix.order {
 		if !f(t) {
 			return
@@ -129,7 +228,10 @@ func (ix *Index) EachTag(f func(tag string) bool) {
 
 // EachEntry calls f for every posting of an exact index tag in degree order,
 // stopping early when f returns false. Unlike Lookup it performs no copy.
+// f must not call back into the index (the lock is held).
 func (ix *Index) EachEntry(tag string, f func(Entry) bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	for _, e := range ix.tags[tag] {
 		if !f(e) {
 			return
@@ -138,24 +240,58 @@ func (ix *Index) EachEntry(tag string, f func(Entry) bool) {
 }
 
 // Len returns the number of indexed tags.
-func (ix *Index) Len() int { return len(ix.order) }
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.order)
+}
 
-// AddTag runs one indexing round for a single tag (Fig. 1's indexer): every
-// entity whose review tags include a mention similar enough to the tag is
-// added with its Eq. 1 degree of truth. Re-adding a tag recomputes its
-// posting list.
-func (ix *Index) AddTag(tag string, entities []EntityReviews) {
-	var t0 time.Time
-	if ix.o != nil {
-		t0 = time.Now()
+// computeEntries runs Eq. 1 for one tag against every entity, fanning out
+// across cfg.workers contiguous entity chunks when parallel is set. Chunk
+// results concatenate in input order before the fully tie-broken sort, so the
+// posting list is identical for any worker count.
+func (ix *Index) computeEntries(tag string, entities []EntityReviews, cfg degCfg, parallel bool) []Entry {
+	w := cfg.workers
+	if !parallel || w > len(entities) {
+		w = 1
 	}
 	var entries []Entry
-	for _, e := range entities {
-		deg, matched := ix.degreeOfTruth(tag, e)
-		if matched == 0 {
-			continue
+	if w <= 1 {
+		for _, e := range entities {
+			deg, matched := degreeOfTruth(ix.memo, tag, e, cfg)
+			if matched == 0 {
+				continue
+			}
+			entries = append(entries, Entry{EntityID: e.EntityID, Degree: deg})
 		}
-		entries = append(entries, Entry{EntityID: e.EntityID, Degree: deg})
+	} else {
+		chunks := make([][]Entry, w)
+		var wg sync.WaitGroup
+		size := (len(entities) + w - 1) / w
+		for c := 0; c < w; c++ {
+			lo := c * size
+			hi := lo + size
+			if hi > len(entities) {
+				hi = len(entities)
+			}
+			wg.Add(1)
+			go func(c int, part []EntityReviews) {
+				defer wg.Done()
+				var out []Entry
+				for _, e := range part {
+					deg, matched := degreeOfTruth(ix.memo, tag, e, cfg)
+					if matched == 0 {
+						continue
+					}
+					out = append(out, Entry{EntityID: e.EntityID, Degree: deg})
+				}
+				chunks[c] = out
+			}(c, entities[lo:hi])
+		}
+		wg.Wait()
+		for _, part := range chunks {
+			entries = append(entries, part...)
+		}
 	}
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Degree != entries[j].Degree {
@@ -163,29 +299,84 @@ func (ix *Index) AddTag(tag string, entities []EntityReviews) {
 		}
 		return entries[i].EntityID < entries[j].EntityID
 	})
+	return entries
+}
+
+// insertLocked installs a posting list; ix.mu must be held exclusively.
+func (ix *Index) insertLocked(tag string, entries []Entry) {
 	if _, exists := ix.tags[tag]; !exists {
 		ix.order = append(ix.order, tag)
 	}
 	ix.tags[tag] = entries
+}
+
+// AddTag runs one indexing round for a single tag (Fig. 1's indexer): every
+// entity whose review tags include a mention similar enough to the tag is
+// added with its Eq. 1 degree of truth, fanning out across the worker pool
+// for large entity sets. Re-adding a tag recomputes its posting list.
+func (ix *Index) AddTag(tag string, entities []EntityReviews) {
+	var t0 time.Time
+	if ix.o != nil {
+		t0 = time.Now()
+	}
+	cfg := ix.snapshotCfg()
+	entries := ix.computeEntries(tag, entities, cfg, true)
+	ix.mu.Lock()
+	ix.insertLocked(tag, entries)
+	n := len(ix.order)
+	ix.mu.Unlock()
 	if ix.o != nil {
 		ix.addTagHist.Observe(time.Since(t0))
 		ix.entriesCtr.Add(int64(len(entries)))
-		ix.tagsGauge.Set(float64(len(ix.order)))
+		ix.tagsGauge.Set(float64(n))
 	}
 }
 
-// Build indexes a whole tag set in one pass, recording the round's total
-// latency and resulting index size when an observer is attached.
+// Build indexes a whole tag set in one pass, fanning out across the worker
+// pool — one goroutine per tag, each computing its posting list serially —
+// then merging in input order under a single exclusive lock. The resulting
+// index is byte-identical to a serial build. Latency, worker count, and
+// resulting size are recorded when an observer is attached.
 func (ix *Index) Build(tags []string, entities []EntityReviews) {
 	var t0 time.Time
 	if ix.o != nil {
 		t0 = time.Now()
 	}
-	for _, t := range tags {
-		ix.AddTag(t, entities)
+	cfg := ix.snapshotCfg()
+	results := make([][]Entry, len(tags))
+	if cfg.workers <= 1 || len(tags) < 2 {
+		for i, t := range tags {
+			results[i] = ix.computeEntries(t, entities, cfg, false)
+		}
+	} else {
+		sem := make(chan struct{}, cfg.workers)
+		var wg sync.WaitGroup
+		for i, t := range tags {
+			wg.Add(1)
+			go func(i int, t string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				results[i] = ix.computeEntries(t, entities, cfg, false)
+				<-sem
+			}(i, t)
+		}
+		wg.Wait()
 	}
+	ix.mu.Lock()
+	for i, t := range tags {
+		ix.insertLocked(t, results[i])
+	}
+	n := len(ix.order)
+	ix.mu.Unlock()
 	if ix.o != nil {
 		ix.buildHist.Observe(time.Since(t0))
+		var total int64
+		for _, es := range results {
+			total += int64(len(es))
+		}
+		ix.entriesCtr.Add(total)
+		ix.tagsGauge.Set(float64(n))
+		ix.workersGauge.Set(float64(cfg.workers))
 		ix.o.Gauge("index.build.entities").Set(float64(len(entities)))
 	}
 }
@@ -195,44 +386,41 @@ func (ix *Index) Build(tags []string, entities []EntityReviews) {
 // is contradiction-aware, review tags that contradict the query tag (same
 // concept, opposite polarity — "bland food" against "delicious food") scale
 // the degree by the support ratio matched/(matched+contradicted): certainty
-// about a tag drops when reviews disagree. The second return is |T_e^tag|.
-func (ix *Index) degreeOfTruth(tag string, e EntityReviews) (float64, int) {
-	ca, aware := ix.measure.(ContradictionAware)
+// about a tag drops when reviews disagree. Similarity lookups go through the
+// memo, so a repeated (tag, reviewTag) pair costs a map probe. The second
+// return is |T_e^tag|. Free function over an immutable cfg so indexing
+// workers share no mutable state.
+func degreeOfTruth(memo *sim.Memo, tag string, e EntityReviews, cfg degCfg) (float64, int) {
 	var sum float64
 	matched := 0
 	contradicted := 0
 	for _, t := range e.Tags {
-		if aware {
-			base, conflict := ca.Base(tag, t)
-			if base <= ix.thetaIndex {
-				continue
-			}
-			if conflict {
-				contradicted++
-				continue
-			}
-			sum += base
-			matched++
+		// Memo.Base degrades to (Phrase, conflict=false) for measures that
+		// are not contradiction-aware, which makes this single path score
+		// exactly as the plain-Phrase path would.
+		base, conflict := memo.Base(tag, t)
+		if base <= cfg.theta {
 			continue
 		}
-		s := ix.measure.Phrase(tag, t)
-		if s > ix.thetaIndex {
-			sum += s
-			matched++
+		if conflict {
+			contradicted++
+			continue
 		}
+		sum += base
+		matched++
 	}
 	if matched == 0 {
 		return 0, 0
 	}
 	weight := 1.0
-	if ix.reviewWeight {
+	if cfg.reviewWeight {
 		weight = math.Log(float64(e.ReviewCount) + 1)
 	}
 	deg := weight / float64(matched) * sum
-	if aware && contradicted > 0 {
+	if contradicted > 0 {
 		deg *= float64(matched) / float64(matched+contradicted)
 	}
-	if ix.frequencyAware && e.ReviewCount > 0 {
+	if cfg.frequencyAware && e.ReviewCount > 0 {
 		// Mention-rate factor: a tag confirmed by most reviews is more
 		// certain than one confirmed once. The square root keeps Eq. 1's
 		// mean-similarity character dominant (see DESIGN.md §4 ablations).
@@ -242,26 +430,23 @@ func (ix *Index) degreeOfTruth(tag string, e EntityReviews) (float64, int) {
 		}
 		deg *= math.Sqrt(rate)
 	}
-	if ix.o != nil {
-		ix.matchedCtr.Add(int64(matched))
-		ix.conflictCtr.Add(int64(contradicted))
-	}
+	cfg.matchedCtr.Add(int64(matched))
+	cfg.conflictCtr.Add(int64(contradicted))
 	return deg, matched
 }
 
 // Lookup returns the posting list for an exact index tag (copy).
 func (ix *Index) Lookup(tag string) []Entry {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return append([]Entry(nil), ix.tags[tag]...)
 }
 
-// LookupSimilar answers an unknown tag per §3.2: the union of the posting
-// lists of every index tag whose similarity to the query tag exceeds
-// θ_filter, with degrees multiplied by that similarity and summed across
-// contributing tags (the S_t2 construction).
-func (ix *Index) LookupSimilar(tag string, thetaFilter float64) []Entry {
+// lookupSimilarLocked is LookupSimilar's body; ix.mu must be held (shared).
+func (ix *Index) lookupSimilarLocked(tag string, thetaFilter float64) []Entry {
 	acc := map[string]float64{}
 	for _, key := range ix.order {
-		s := ix.measure.Phrase(tag, key)
+		s := ix.memo.Phrase(tag, key)
 		if s <= thetaFilter {
 			continue
 		}
@@ -282,6 +467,16 @@ func (ix *Index) LookupSimilar(tag string, thetaFilter float64) []Entry {
 	return entries
 }
 
+// LookupSimilar answers an unknown tag per §3.2: the union of the posting
+// lists of every index tag whose similarity to the query tag exceeds
+// θ_filter, with degrees multiplied by that similarity and summed across
+// contributing tags (the S_t2 construction).
+func (ix *Index) LookupSimilar(tag string, thetaFilter float64) []Entry {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.lookupSimilarLocked(tag, thetaFilter)
+}
+
 // Resolve implements the probing rule of Algorithm 1 lines 7–10: exact hit
 // when the tag is indexed, otherwise the similar-tag union.
 func (ix *Index) Resolve(tag string, thetaFilter float64) []Entry {
@@ -289,13 +484,15 @@ func (ix *Index) Resolve(tag string, thetaFilter float64) []Entry {
 	if ix.o != nil {
 		t0 = time.Now()
 	}
+	ix.mu.RLock()
 	var out []Entry
-	exact := ix.Has(tag)
+	_, exact := ix.tags[tag]
 	if exact {
-		out = ix.Lookup(tag)
+		out = append([]Entry(nil), ix.tags[tag]...)
 	} else {
-		out = ix.LookupSimilar(tag, thetaFilter)
+		out = ix.lookupSimilarLocked(tag, thetaFilter)
 	}
+	ix.mu.RUnlock()
 	if ix.o != nil {
 		ix.resolveHist.Observe(time.Since(t0))
 		if exact {
@@ -309,22 +506,29 @@ func (ix *Index) Resolve(tag string, thetaFilter float64) []Entry {
 
 // ResolveEach is the copy-free Resolve for the query hot path: exact hits
 // iterate the posting list in place; only the similar-tag union (which must
-// aggregate across tags) materializes a slice.
+// aggregate across tags) materializes a slice. f must not call back into the
+// index (the lock is held).
 func (ix *Index) ResolveEach(tag string, thetaFilter float64, f func(Entry) bool) {
 	var t0 time.Time
 	if ix.o != nil {
 		t0 = time.Now()
 	}
-	exact := ix.Has(tag)
+	ix.mu.RLock()
+	entries, exact := ix.tags[tag]
 	if exact {
-		ix.EachEntry(tag, f)
+		for _, e := range entries {
+			if !f(e) {
+				break
+			}
+		}
 	} else {
-		for _, e := range ix.LookupSimilar(tag, thetaFilter) {
+		for _, e := range ix.lookupSimilarLocked(tag, thetaFilter) {
 			if !f(e) {
 				break
 			}
 		}
 	}
+	ix.mu.RUnlock()
 	if ix.o != nil {
 		ix.resolveHist.Observe(time.Since(t0))
 		if exact {

@@ -349,3 +349,78 @@ func TestResolveDynamic(t *testing.T) {
 		t.Fatalf("dynamic resolve must not lose results: %d vs %d", len(dynamic), len(static))
 	}
 }
+
+// TestParallelBuildDeterministic pins the tentpole's merge contract: a Build
+// fanned out across many workers must produce an index byte-identical to a
+// serial one — same key order, same posting order, same degrees.
+func TestParallelBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vocabulary := []string{
+		"good food", "tasty food", "bland food", "nice staff", "rude staff",
+		"friendly staff", "amazing pizza", "creative cooking", "quiet atmosphere",
+		"great view", "fast service", "slow service",
+	}
+	var es []EntityReviews
+	for i := 0; i < 60; i++ {
+		n := 1 + rng.Intn(8)
+		tags := make([]string, n)
+		for j := range tags {
+			tags[j] = vocabulary[rng.Intn(len(vocabulary))]
+		}
+		es = append(es, EntityReviews{
+			EntityID:    "e" + strings.Repeat("x", i%3) + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			ReviewCount: 1 + rng.Intn(12),
+			Tags:        tags,
+		})
+	}
+	buildTags := []string{"good food", "nice staff", "creative cooking", "fast service", "great view"}
+
+	snap := func(workers int) []byte {
+		ix := testIndex()
+		ix.SetWorkers(workers)
+		ix.Build(buildTags, es)
+		// One standalone AddTag as well, to cover its chunked fan-out.
+		ix.AddTag("quiet atmosphere", es)
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := snap(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := snap(w); !bytes.Equal(serial, got) {
+			t.Fatalf("workers=%d produced a different index than serial", w)
+		}
+	}
+}
+
+// TestSetWorkersBounds checks the worker-count plumbing.
+func TestSetWorkersBounds(t *testing.T) {
+	ix := testIndex()
+	ix.SetWorkers(-3)
+	ix.Build([]string{"good food"}, entities())
+	ix.SetWorkers(4)
+	ix.Build([]string{"nice staff"}, entities())
+	if ix.Len() != 2 {
+		t.Fatalf("builds under different worker counts: %v", ix.Tags())
+	}
+}
+
+// TestMemoStatsAccumulate checks the memo is actually on the indexing path:
+// repeated (tag, reviewTag) pairs must hit the cache.
+func TestMemoStatsAccumulate(t *testing.T) {
+	ix := testIndex()
+	ix.SetWorkers(1)
+	ix.Build([]string{"good food"}, entities())
+	_, m1, _ := ix.MemoStats()
+	ix.Build([]string{"good food"}, entities())
+	hits, m2, _ := ix.MemoStats()
+	if hits == 0 {
+		t.Fatal("rebuilding the same tag must hit the similarity memo")
+	}
+	if m2 != m1 {
+		t.Fatalf("rebuild recomputed pairs: misses %d -> %d", m1, m2)
+	}
+}

@@ -28,8 +28,11 @@ type TagPostings struct {
 // snapshotVersion is the current wire format version.
 const snapshotVersion = 1
 
-// Save writes the index as JSON.
+// Save writes the index as JSON. It holds the shared lock for the duration,
+// so a snapshot taken during concurrent queries is consistent.
 func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	snap := Snapshot{Version: snapshotVersion, ThetaIndex: ix.thetaIndex}
 	for _, tag := range ix.order {
 		snap.Tags = append(snap.Tags, TagPostings{Tag: tag, Entries: ix.tags[tag]})
@@ -49,14 +52,18 @@ func (ix *Index) Load(r io.Reader) error {
 	if snap.Version != snapshotVersion {
 		return fmt.Errorf("index: unsupported snapshot version %d", snap.Version)
 	}
-	ix.tags = make(map[string][]Entry, len(snap.Tags))
-	ix.order = ix.order[:0]
+	tags := make(map[string][]Entry, len(snap.Tags))
+	order := make([]string, 0, len(snap.Tags))
 	for _, tp := range snap.Tags {
-		if _, dup := ix.tags[tp.Tag]; dup {
+		if _, dup := tags[tp.Tag]; dup {
 			return fmt.Errorf("index: duplicate tag %q in snapshot", tp.Tag)
 		}
-		ix.tags[tp.Tag] = tp.Entries
-		ix.order = append(ix.order, tp.Tag)
+		tags[tp.Tag] = tp.Entries
+		order = append(order, tp.Tag)
 	}
+	ix.mu.Lock()
+	ix.tags = tags
+	ix.order = order
+	ix.mu.Unlock()
 	return nil
 }

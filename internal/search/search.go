@@ -33,23 +33,39 @@ var locations = []string{"montreal", "melbourne", "lyon", "paris", "toronto", "s
 
 // ParseUtterance runs the lightweight intent recognizer and slot filler. Any
 // utterance asking for a place to eat maps to the searchRestaurant intent;
-// cuisine and location slots are keyword-filled.
+// cuisine and location slots are keyword-filled. Keywords match whole words
+// only — "comparison" does not fill location=paris, nor "indiana-style"
+// cuisine=indian.
 func ParseUtterance(utterance string) Intent {
-	low := strings.ToLower(utterance)
+	words := utteranceWords(utterance)
 	in := Intent{Name: "searchRestaurant", Slots: map[string]string{}}
 	for _, c := range cuisines {
-		if strings.Contains(low, c) {
+		if words[c] {
 			in.Slots[SlotCuisine] = c
 			break
 		}
 	}
 	for _, l := range locations {
-		if strings.Contains(low, l) {
+		if words[l] {
 			in.Slots[SlotLocation] = l
 			break
 		}
 	}
 	return in
+}
+
+// utteranceWords lowercases the utterance and splits it into a word set on
+// every non-alphanumeric boundary, so slot keywords cannot match inside a
+// longer word.
+func utteranceWords(utterance string) map[string]bool {
+	fields := strings.FieldsFunc(strings.ToLower(utterance), func(r rune) bool {
+		return !('a' <= r && r <= 'z' || '0' <= r && r <= '9')
+	})
+	words := make(map[string]bool, len(fields))
+	for _, w := range fields {
+		words[w] = true
+	}
+	return words
 }
 
 // API is the objective search service of §3.2: it answers slot-filtered
@@ -147,16 +163,15 @@ func (r *Ranker) RankTraced(parent *obs.Span, apiResults []string, tags []string
 	// tags follow, ordered by coverage then score, and untagged API results
 	// fill the tail. The fill keeps Algorithm 1's ordering at the top while
 	// guaranteeing a full top-k answer when the intersection is small.
-	counts := map[string]int{}
+	counts := make(map[string]int, len(apiResults))
 	for _, m := range perTag {
 		for id := range m {
 			counts[id]++
 		}
 	}
 	out := make([]Scored, 0, len(apiResults))
-	seen := map[string]bool{}
-	for id, n := range counts {
-		_ = n
+	seen := make(map[string]bool, len(apiResults))
+	for id := range counts {
 		out = append(out, Scored{EntityID: id, Score: r.aggregate(perTag, id)})
 		seen[id] = true
 	}

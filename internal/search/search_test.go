@@ -22,6 +22,33 @@ func TestParseUtterance(t *testing.T) {
 	}
 }
 
+func TestParseUtteranceWordBoundaries(t *testing.T) {
+	cases := []struct {
+		utterance string
+		cuisine   string
+		location  string
+	}{
+		// Regressions for the substring matcher: slot keywords inside longer
+		// words must not fill slots.
+		{"a comparison of nearby places", "", ""},
+		{"somewhere with indiana-style decor", "", ""},
+		{"a frenchified menu would be fun", "", ""},
+		// Whole-word mentions still fill, punctuation included.
+		{"Italian, in Paris!", "italian", "paris"},
+		{"indian food in toronto", "indian", "toronto"},
+		{"best ramen in (Sydney)", "", "sydney"},
+	}
+	for _, tc := range cases {
+		in := ParseUtterance(tc.utterance)
+		if in.Slots[SlotCuisine] != tc.cuisine {
+			t.Errorf("%q: cuisine = %q, want %q", tc.utterance, in.Slots[SlotCuisine], tc.cuisine)
+		}
+		if in.Slots[SlotLocation] != tc.location {
+			t.Errorf("%q: location = %q, want %q", tc.utterance, in.Slots[SlotLocation], tc.location)
+		}
+	}
+}
+
 func TestAPISearchFilters(t *testing.T) {
 	w := yelp.Generate(yelp.FastConfig())
 	api := &API{World: w}
@@ -155,6 +182,40 @@ func TestRankDeterministicTieBreak(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("ordering depends on API order: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestRankCoverageThenScoreOrder pins the full tie-break ladder: tag
+// coverage first, aggregate score second, entity ID last — and checks it is
+// stable under permuted API result order.
+func TestRankCoverageThenScoreOrder(t *testing.T) {
+	r := &Ranker{Index: buildIndex(), ThetaFilter: 0.5}
+	api := []string{"vue", "hut", "anchovy"}
+	tags := []string{"good food", "nice staff"}
+	cases := []struct {
+		name string
+		api  []string
+	}{
+		{"input order", []string{"vue", "hut", "anchovy"}},
+		{"reversed", []string{"anchovy", "hut", "vue"}},
+		{"rotated", []string{"hut", "anchovy", "vue"}},
+	}
+	want := r.Rank(api, tags)
+	// vue covers both tags, hut one, anchovy none: coverage must dominate
+	// even though scores alone could order differently.
+	if want[0].EntityID != "vue" || want[1].EntityID != "hut" || want[2].EntityID != "anchovy" {
+		t.Fatalf("coverage-then-score order wrong: %v", want)
+	}
+	for _, tc := range cases {
+		got := r.Rank(tc.api, tags)
+		if len(got) != len(want) {
+			t.Fatalf("%s: length %d, want %d", tc.name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: position %d = %v, want %v", tc.name, i, got[i], want[i])
+			}
 		}
 	}
 }

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// countingMeasure counts Phrase invocations so tests can prove caching.
+type countingMeasure struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingMeasure) Phrase(a, b string) float64 {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	if a == b {
+		return 1
+	}
+	return 0.5
+}
+
+func TestMemoCachesPhrase(t *testing.T) {
+	cm := &countingMeasure{}
+	m := NewMemo(cm)
+	for i := 0; i < 5; i++ {
+		if got := m.Phrase("good food", "tasty food"); got != 0.5 {
+			t.Fatalf("Phrase = %v", got)
+		}
+	}
+	if cm.calls != 1 {
+		t.Fatalf("underlying measure called %d times, want 1", cm.calls)
+	}
+	hits, misses, _ := m.Stats()
+	if hits != 4 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 4/1", hits, misses)
+	}
+}
+
+func TestMemoBaseDegradesWithoutContradictor(t *testing.T) {
+	m := NewMemo(&countingMeasure{})
+	s, conflict := m.Base("good food", "bad food")
+	if s != 0.5 || conflict {
+		t.Fatalf("degraded Base = (%v, %v), want (0.5, false)", s, conflict)
+	}
+}
+
+func TestMemoBaseDelegatesToContradictor(t *testing.T) {
+	c := NewConceptual()
+	m := NewMemo(c)
+	wantS, wantC := c.Base("delicious food", "bland food")
+	gotS, gotC := m.Base("delicious food", "bland food")
+	if gotS != wantS || gotC != wantC {
+		t.Fatalf("Base = (%v, %v), want (%v, %v)", gotS, gotC, wantS, wantC)
+	}
+	// Cached round must agree.
+	gotS, gotC = m.Base("delicious food", "bland food")
+	if gotS != wantS || gotC != wantC {
+		t.Fatalf("cached Base = (%v, %v), want (%v, %v)", gotS, gotC, wantS, wantC)
+	}
+}
+
+func TestMemoPreservesMeasureExactly(t *testing.T) {
+	c := NewConceptual()
+	m := NewMemo(c)
+	pairs := [][2]string{
+		{"good food", "tasty food"},
+		{"nice staff", "rude staff"},
+		{"amazing pizza", "amazing pizza"},
+		{"quiet atmosphere", "good food"},
+	}
+	for _, p := range pairs {
+		want := c.Phrase(p[0], p[1])
+		if got := m.Phrase(p[0], p[1]); got != want {
+			t.Fatalf("Phrase(%q, %q) = %v, want %v", p[0], p[1], got, want)
+		}
+		// Second call exercises the cached path.
+		if got := m.Phrase(p[0], p[1]); got != want {
+			t.Fatalf("cached Phrase(%q, %q) = %v, want %v", p[0], p[1], got, want)
+		}
+	}
+}
+
+func TestMemoEvictsWhenFull(t *testing.T) {
+	m := NewMemoCapacity(&countingMeasure{}, 2)
+	for i := 0; i < 200; i++ {
+		m.Phrase(fmt.Sprintf("tag %d", i), "other")
+	}
+	if _, _, evictions := m.Stats(); evictions == 0 {
+		t.Fatal("bounded memo never evicted under pressure")
+	}
+}
+
+func TestMemoConcurrentAccess(t *testing.T) {
+	m := NewMemo(NewConceptual())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Phrase(fmt.Sprintf("tag %d", i%10), "good food")
+				m.Base(fmt.Sprintf("tag %d", i%10), "bad food")
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses, _ := m.Stats()
+	if hits+misses != 8*200*2 {
+		t.Fatalf("lookups accounted %d, want %d", hits+misses, 8*200*2)
+	}
+}

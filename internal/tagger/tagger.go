@@ -32,6 +32,14 @@ type Encoder interface {
 	EmbeddingDim() int
 }
 
+// InferEncoder is an encoder with a reentrant forward pass; *bert.Model
+// satisfies it. When the tagger's encoder implements it, Predict routes
+// through InferTokens so any number of goroutines can tag concurrently.
+// Train always uses EncodeTokens — fine-tuning needs the encoder's caches.
+type InferEncoder interface {
+	InferTokens(tokens []string) []mat.Vec
+}
+
 // TrainableEncoder is an encoder the tagger can fine-tune end-to-end;
 // *bert.Model satisfies it. Fine-tuning on the tagging task is what makes
 // BERT's attention heads align aspects with opinions (§5.1: "we have it
@@ -305,14 +313,25 @@ func goldIDs(labels []tokenize.Label, n int) []int {
 	return out
 }
 
+// infer returns contextual embeddings via the encoder's reentrant path when
+// it has one, so Predict writes no shared state.
+func infer(enc Encoder, tokens []string) []mat.Vec {
+	if ie, ok := enc.(InferEncoder); ok {
+		return ie.InferTokens(tokens)
+	}
+	return enc.EncodeTokens(tokens)
+}
+
 // Predict tags a sentence with Viterbi decoding. Tokens beyond the encoder's
-// window fall back to O.
+// window fall back to O. Predict is reentrant — it writes no model state and
+// (when the encoder implements InferEncoder, as *bert.Model does) neither
+// does the encoder forward pass — so concurrent goroutines may call it on
+// one trained model.
 func (m *Model) Predict(tokens []string) []tokenize.Label {
 	if m.Obs != nil {
 		defer m.Obs.Histogram("tagger.predict").ObserveSince(time.Now())
 	}
-	m.drop.Train = false
-	embeds := m.enc.EncodeTokens(tokens)
+	embeds := infer(m.enc, tokens)
 	if len(embeds) == 0 {
 		return make([]tokenize.Label, len(tokens))
 	}
@@ -389,9 +408,10 @@ func (o *OpineDB) Train(examples []datasets.Example) float64 {
 	return last
 }
 
-// Predict tags each token independently by argmax.
+// Predict tags each token independently by argmax. Reentrant under the same
+// conditions as Model.Predict.
 func (o *OpineDB) Predict(tokens []string) []tokenize.Label {
-	embeds := o.enc.EncodeTokens(tokens)
+	embeds := infer(o.enc, tokens)
 	out := make([]tokenize.Label, len(tokens))
 	for i, e := range embeds {
 		out[i] = tokenize.Label(o.proj.Forward(e).MaxIdx())

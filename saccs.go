@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"saccs/internal/automaton"
@@ -42,22 +44,33 @@ import (
 )
 
 // Config tunes a Client.
+//
+// Numeric and boolean fields are taken literally: New applies no defaults, so
+// ThetaIndex: 0 really means a zero similarity threshold and Epsilon: 0
+// really means no adversarial perturbation. Start from DefaultConfig() and
+// override the fields you care about. The two string fields keep "" as an
+// alias for their default ("restaurants", "fast") so the zero Config still
+// names a valid pipeline.
 type Config struct {
 	// Domain selects the lexicon the pipeline is trained for:
-	// "restaurants" (default), "electronics" or "hotels".
+	// "restaurants" (the "" default), "electronics" or "hotels".
 	Domain string
 	// TrainingScale selects how much synthetic data the extractor is
-	// trained on: "fast" (default, seconds) or "paper" (Table 3 sizes).
+	// trained on: "fast" (the "" default, seconds) or "paper" (Table 3
+	// sizes).
 	TrainingScale string
-	// ThetaIndex is the Eq. 1 review-tag similarity threshold (default 0.55).
+	// ThetaIndex is the Eq. 1 review-tag similarity threshold
+	// (DefaultConfig: 0.55). 0 admits every review tag.
 	ThetaIndex float64
-	// ThetaFilter is the Algorithm 1 unknown-tag threshold (default 0.45).
+	// ThetaFilter is the Algorithm 1 unknown-tag threshold
+	// (DefaultConfig: 0.45). 0 unions every indexed tag.
 	ThetaFilter float64
-	// TopK truncates query answers (default 10; 0 = all).
+	// TopK truncates query answers (DefaultConfig: 10; 0 = all).
 	TopK int
-	// Adversarial enables FGSM training of the tagger (default true).
+	// Adversarial enables FGSM training of the tagger (DefaultConfig: true).
 	Adversarial bool
-	// Epsilon is the adversarial perturbation radius (default 0.2).
+	// Epsilon is the adversarial perturbation radius (DefaultConfig: 0.2).
+	// 0 trains on unperturbed embeddings even when Adversarial is set.
 	Epsilon float64
 }
 
@@ -110,11 +123,14 @@ type Response struct {
 
 // Client is a trained SACCS pipeline plus a subjective tag index.
 //
-// Concurrency: Query, QueryTags, ExtractTags, TagLabels and the read-only
-// accessors may be called from multiple goroutines (the neural extraction
-// pipeline is stateful and serialized internally; metrics are atomic).
-// IndexEntities, Reindex, and LoadIndex mutate the index and must not run
-// concurrently with queries.
+// Concurrency: Query, QueryTags, ExtractTags, TagLabels, Reindex, SaveIndex
+// and the read-only accessors may be called from any number of goroutines.
+// The extraction pipeline (MiniBERT forward pass, BiLSTM-CRF decode) is
+// reentrant — per-call scratch buffers come from a sync.Pool — and the index
+// guards itself with a read/write lock, so queries overlap with adaptive
+// Reindex rounds (Fig. 1) without serializing. IndexEntities and LoadIndex
+// replace the index wholesale and must not run concurrently with anything
+// else on the client.
 type Client struct {
 	cfg     Config
 	domain  *lexicon.Domain
@@ -123,9 +139,6 @@ type Client struct {
 	idx     *index.Index
 	history *index.History
 
-	// extrMu serializes the extraction pipeline: the MiniBERT encoder and
-	// the BiLSTM-CRF tagger keep per-call caches that are not reentrant.
-	extrMu sync.Mutex
 	// o is the client's always-on metrics registry plus an optional tracer
 	// attached via SetTraceSink.
 	o *obs.Observer
@@ -139,12 +152,6 @@ type Client struct {
 // in-domain data and returns a ready Client. Training is deterministic and
 // CPU-only; the fast scale takes seconds.
 func New(cfg Config) (*Client, error) {
-	if cfg.ThetaIndex == 0 {
-		cfg.ThetaIndex = 0.55
-	}
-	if cfg.ThetaFilter == 0 {
-		cfg.ThetaFilter = 0.45
-	}
 	var domain *lexicon.Domain
 	var data *datasets.Dataset
 	scale := datasets.Fast
@@ -175,9 +182,6 @@ func New(cfg Config) (*Client, error) {
 	}
 	tcfg.Adversarial = cfg.Adversarial
 	tcfg.Epsilon = cfg.Epsilon
-	if tcfg.Epsilon == 0 {
-		tcfg.Epsilon = 0.2
-	}
 	tg := tagger.New(enc, tcfg)
 	tg.Obs = o
 	tg.Train(data.Train)
@@ -210,10 +214,8 @@ func trainTokens(d *datasets.Dataset) [][]string {
 }
 
 // ExtractTags runs the §4+§5 pipeline on free text and returns its
-// subjective tags.
+// subjective tags. It is reentrant.
 func (c *Client) ExtractTags(text string) []string {
-	c.extrMu.Lock()
-	defer c.extrMu.Unlock()
 	return c.extr.ExtractTags(text)
 }
 
@@ -229,11 +231,13 @@ func (c *Client) CanonicalTags() []string {
 }
 
 // IndexEntities extracts subjective tags from every entity's reviews and
-// builds the inverted index for the given tag set. Calling it again replaces
-// the previous index.
+// builds the inverted index for the given tag set. Extraction fans out
+// across GOMAXPROCS goroutines (the pipeline is reentrant) and the build
+// fans out per tag; results are merged in input order, so the index is
+// identical for any degree of parallelism. Calling IndexEntities again
+// replaces the previous index; it must not run concurrently with queries.
 func (c *Client) IndexEntities(entities []Entity, tags []string) error {
 	c.entities = map[string]Entity{}
-	c.reviews = c.reviews[:0]
 	for _, e := range entities {
 		if e.ID == "" {
 			return fmt.Errorf("saccs: entity with empty ID")
@@ -242,14 +246,43 @@ func (c *Client) IndexEntities(entities []Entity, tags []string) error {
 			return fmt.Errorf("saccs: duplicate entity ID %q", e.ID)
 		}
 		c.entities[e.ID] = e
+	}
+	reviews := make([]index.EntityReviews, len(entities))
+	extract := func(i int) {
+		e := entities[i]
 		er := index.EntityReviews{EntityID: e.ID, ReviewCount: len(e.Reviews)}
-		c.extrMu.Lock()
 		for _, r := range e.Reviews {
 			er.Tags = append(er.Tags, c.extr.ExtractTags(r)...)
 		}
-		c.extrMu.Unlock()
-		c.reviews = append(c.reviews, er)
+		reviews[i] = er
 	}
+	w := runtime.GOMAXPROCS(0)
+	if w > len(entities) {
+		w = len(entities)
+	}
+	if w <= 1 {
+		for i := range entities {
+			extract(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(entities) {
+						return
+					}
+					extract(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	c.reviews = reviews
 	c.idx = index.New(c.measure, c.cfg.ThetaIndex)
 	c.idx.SetObserver(c.o)
 	c.history = index.NewHistory()
@@ -266,11 +299,12 @@ func (c *Client) IndexedTags() []string { return c.idx.Tags() }
 
 // Reindex drains the user tag history (unknown tags seen in queries) into
 // the index — the adaptive round of the paper's Fig. 1 — and returns the
-// tags added.
+// tags added. It fans out across the index's worker pool and is safe to run
+// while queries are in flight.
 func (c *Client) Reindex() []string {
 	pend := c.history.Drain()
-	for _, t := range pend {
-		c.idx.AddTag(t, c.reviews)
+	if len(pend) > 0 {
+		c.idx.Build(pend, c.reviews)
 	}
 	return pend
 }
@@ -293,9 +327,7 @@ func (c *Client) Query(utterance string) Response {
 	in := parseIntentSlots(utterance)
 	st.End()
 
-	c.extrMu.Lock()
 	tags := c.extr.ExtractTagsTraced(root, utterance)
-	c.extrMu.Unlock()
 
 	var unknown []string
 	for _, t := range tags {
@@ -377,8 +409,6 @@ func (c *Client) Entity(id string) (Entity, bool) {
 // — the raw §4 view, useful for inspection and debugging.
 func (c *Client) TagLabels(sentence string) (tokens []string, labels []string) {
 	tokens = tokenize.Words(sentence)
-	c.extrMu.Lock()
-	defer c.extrMu.Unlock()
 	for _, l := range c.extr.Tagger.Predict(tokens) {
 		labels = append(labels, l.String())
 	}

@@ -146,6 +146,81 @@ func TestClientValidation(t *testing.T) {
 	_ = c
 }
 
+// TestConfigZeroValuesHonored pins the explicit-zero contract: New takes
+// numeric fields literally instead of silently replacing zeros with the
+// DefaultConfig values.
+func TestConfigZeroValuesHonored(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThetaIndex = 0
+	cfg.ThetaFilter = 0
+	cfg.Epsilon = 0
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.ThetaIndex != 0 || c.cfg.ThetaFilter != 0 || c.cfg.Epsilon != 0 {
+		t.Fatalf("explicit zeros were defaulted: %+v", c.cfg)
+	}
+	// Behavioral check: θ_index = 0 admits every review tag with any
+	// positive similarity, so the zero-threshold posting list can only be a
+	// superset of the default-threshold one.
+	if err := c.IndexEntities(demoEntities(), []string{"delicious food"}); err != nil {
+		t.Fatal(err)
+	}
+	zero := c.idx.Lookup("delicious food")
+	def := newClient(t)
+	if err := def.IndexEntities(demoEntities(), []string{"delicious food"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(zero) < len(def.idx.Lookup("delicious food")) {
+		t.Fatalf("theta_index 0 produced fewer postings (%d) than 0.55", len(zero))
+	}
+}
+
+// TestConcurrentQueryReindex hammers Query from 8 goroutines while Reindex
+// runs the adaptive loop of Fig. 1 concurrently — the contract the tentpole
+// establishes (reentrant extraction + RWMutex index). Run with -race.
+func TestConcurrentQueryReindex(t *testing.T) {
+	c := newClient(t)
+	if err := c.IndexEntities(demoEntities(), []string{"delicious food"}); err != nil {
+		t.Fatal(err)
+	}
+	utterances := []string{
+		"a place with a quiet atmosphere",
+		"I want an Italian restaurant in Montreal with delicious food",
+		"somewhere with friendly staff and creative cooking",
+		"good food and attentive waiters please",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp := c.Query(utterances[(g+i)%len(utterances)])
+				if resp.Intent != "searchRestaurant" {
+					t.Errorf("intent: %s", resp.Intent)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			c.Reindex()
+		}
+	}()
+	wg.Wait()
+	// Every unknown tag either drained into the index by a Reindex round or
+	// is still pending; a final round must leave nothing behind.
+	c.Reindex()
+	for _, tag := range c.history.Pending() {
+		t.Errorf("tag %q still pending after final Reindex", tag)
+	}
+}
+
 func TestClientTagLabels(t *testing.T) {
 	c := newClient(t)
 	tokens, labels := c.TagLabels("the food is delicious")
