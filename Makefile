@@ -1,16 +1,28 @@
 # Tier-1 verification lives behind `make ci`: vet + build + race-enabled
-# tests + a short parallel-throughput smoke run of saccs-bench. The race run
-# uses -short because the full experiment harness (internal/experiments
-# regenerates every paper table) exceeds go test's timeout under the race
-# detector; -short skips only those heavy regenerators — the concurrency
-# tests (saccs root package, internal/obs, internal/index) always run.
-# `make race-full` races the whole suite when you have ~an hour.
+# tests + the correctness harness (differential oracles + property checks
+# under -race), a bounded fuzz smoke of every fuzz target, and a short
+# parallel-throughput smoke run of saccs-bench. The race run uses -short
+# because the full experiment harness (internal/experiments regenerates every
+# paper table) exceeds go test's timeout under the race detector; -short
+# skips only those heavy regenerators — the concurrency tests (saccs root
+# package, internal/obs, internal/index) always run. `make race-full` races
+# the whole suite when you have ~an hour.
 
 GO ?= go
 
-.PHONY: ci vet build test test-short race race-full bench bench-smoke
+# Per-target budget for fuzz-smoke. Native fuzzing keeps any crashers it
+# finds under testdata/fuzz/ — commit them as regression seeds.
+FUZZTIME ?= 30s
 
-ci: vet build race bench-smoke
+# Minimum acceptable total test coverage (percent), measured by `make cover`.
+# Recorded from the seed tree; raise it when coverage genuinely improves,
+# never lower it to make a PR pass.
+COVER_BASELINE ?= 75.2
+
+.PHONY: ci vet build test test-short race race-full bench bench-smoke \
+	check fuzz-smoke cover
+
+ci: vet build race check fuzz-smoke bench-smoke
 
 # ./... covers every package in the module; cmd/ and examples/ are listed
 # explicitly so the gate still covers them if the root pattern is narrowed.
@@ -40,3 +52,34 @@ bench:
 # without slowing CI. It writes no BENCH.json.
 bench-smoke:
 	$(GO) run ./cmd/saccs-bench -only parallel -parallel 4 -parallel-dur 300ms -bench-out ""
+
+# check runs the correctness harness under the race detector: the
+# internal/check differential oracles (serial vs parallel build, persisted vs
+# rebuilt index, memoized vs raw similarity, serial vs concurrent query) and
+# property/metamorphic checks (threshold monotonicity, tag strengthening,
+# rank permutation invariance, slot word boundaries), plus every committed
+# fuzz seed corpus replayed as plain regression tests.
+check:
+	$(GO) test -race -count=1 ./internal/check/...
+	$(GO) test -race -count=1 -run '^Fuzz' ./internal/tokenize/ ./internal/search/ \
+		./internal/parse/ ./internal/tagger/ ./internal/index/
+
+# fuzz-smoke gives each native fuzz target a bounded budget ($(FUZZTIME) per
+# target). `go test -fuzz` accepts exactly one target per invocation, hence
+# one line per function. New crashers land in testdata/fuzz/ — commit them.
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzWords$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/tokenize/
+	$(GO) test -fuzz '^FuzzSentences$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/tokenize/
+	$(GO) test -fuzz '^FuzzParseUtterance$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/search/
+	$(GO) test -fuzz '^FuzzBuildTree$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/parse/
+	$(GO) test -fuzz '^FuzzPredictDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/tagger/
+	$(GO) test -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/index/
+
+# cover measures total -short coverage and fails if it regresses below
+# COVER_BASELINE (the value recorded from the seed tree).
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{sub(/%/, "", $$NF); print $$NF}'); \
+	echo "total coverage: $$total% (baseline $(COVER_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t+0 < b+0) ? 1 : 0 }' \
+		|| { echo "coverage regressed below $(COVER_BASELINE)%"; exit 1; }

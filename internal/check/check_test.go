@@ -1,0 +1,102 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"saccs/internal/index"
+	"saccs/internal/search"
+)
+
+// TestDefaultSuite drives every oracle and property check on two independent
+// seeds. `make check` runs this package under -race, so the concurrent-query
+// oracle doubles as a race detector workload.
+func TestDefaultSuite(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		for _, c := range DefaultSuite(seed) {
+			c := c
+			t.Run(fmt.Sprintf("%s/seed=%d", c.Name, seed), func(t *testing.T) {
+				if err := c.Run(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestGenDeterministic pins the generator's core contract: identical seeds
+// give identical corpora, different seeds diverge.
+func TestGenDeterministic(t *testing.T) {
+	a, b := NewGen(7), NewGen(7)
+	for i := 0; i < 50; i++ {
+		ta, tb := a.Tag(), b.Tag()
+		if ta != tb {
+			t.Fatalf("same seed diverged at tag %d: %q vs %q", i, ta, tb)
+		}
+	}
+	ea, eb := NewGen(7).Entities(10), NewGen(7).Entities(10)
+	for i := range ea {
+		if ea[i].EntityID != eb[i].EntityID || ea[i].ReviewCount != eb[i].ReviewCount ||
+			strings.Join(ea[i].Tags, "|") != strings.Join(eb[i].Tags, "|") {
+			t.Fatalf("same seed diverged at entity %d", i)
+		}
+	}
+	ua, ub := NewGen(3).Utterance(), NewGen(4).Utterance()
+	if ua == ub {
+		t.Fatalf("different seeds produced the same utterance %q", ua)
+	}
+}
+
+// TestDiffReportersFindFirstDivergence exercises the diff reporter on
+// hand-built divergences: identical inputs diff clean, and the error names
+// the first divergent element.
+func TestDiffReportersFindFirstDivergence(t *testing.T) {
+	a := []index.Entry{{EntityID: "e1", Degree: 0.5}, {EntityID: "e2", Degree: 0.25}}
+	if err := DiffPostings("same", a, a); err != nil {
+		t.Fatalf("identical postings diffed: %v", err)
+	}
+	b := []index.Entry{{EntityID: "e1", Degree: 0.5}, {EntityID: "e3", Degree: 0.25}}
+	err := DiffPostings("p", a, b)
+	if err == nil || !strings.Contains(err.Error(), "[1]") || !strings.Contains(err.Error(), "e3") {
+		t.Fatalf("posting diff did not name first divergence: %v", err)
+	}
+	if err := DiffPostings("short", a, a[:1]); err == nil || !strings.Contains(err.Error(), "ends at posting [1]") {
+		t.Fatalf("truncated postings not reported: %v", err)
+	}
+	if err := DiffPostings("long", a[:1], a); err == nil || !strings.Contains(err.Error(), "extra") {
+		t.Fatalf("extra postings not reported: %v", err)
+	}
+
+	s := []search.Scored{{EntityID: "x", Score: 1}, {EntityID: "y", Score: 0.5}}
+	sDiff := []search.Scored{{EntityID: "x", Score: 1}, {EntityID: "y", Score: 0.75}}
+	if err := DiffScored("r", s, sDiff); err == nil || !strings.Contains(err.Error(), "rank at [1]") {
+		t.Fatalf("scored diff did not name first divergent rank: %v", err)
+	}
+	if err := DiffStrings("t", []string{"a", "b"}, []string{"a", "c"}); err == nil || !strings.Contains(err.Error(), `"c"`) {
+		t.Fatalf("string diff did not name divergence: %v", err)
+	}
+}
+
+// TestBuildOracleCatchesDivergence makes sure the oracle machinery itself
+// detects a planted difference (an index with one perturbed posting).
+func TestBuildOracleCatchesDivergence(t *testing.T) {
+	g := NewGen(5)
+	tags := g.Tags(6)
+	ents := g.Entities(20)
+	want := buildIndex(tags, ents, 0.55, 1)
+	got := buildIndex(tags, ents, 0.60, 1) // different θ_index → different postings
+	if err := DiffIndexes(want, got); err == nil {
+		t.Fatal("DiffIndexes missed a θ_index perturbation")
+	}
+}
+
+// TestSlotTrapWordsNeverFill pins the deterministic half of the slot
+// property: an utterance made only of substring traps fills no slots.
+func TestSlotTrapWordsNeverFill(t *testing.T) {
+	utt := "a comparison of indiana-style and italianate lyonnaise dining"
+	in := search.ParseUtterance(utt)
+	if len(in.Slots) != 0 {
+		t.Fatalf("trap utterance filled slots: %v", in.Slots)
+	}
+}

@@ -1,0 +1,83 @@
+package check
+
+import (
+	"fmt"
+
+	"saccs/internal/index"
+	"saccs/internal/search"
+)
+
+// The diff reporter compares two runs of a computation that must agree
+// bit-for-bit (differential oracles never tolerate float drift: the compared
+// strategies execute the same float operations in the same per-item order)
+// and names the first divergent element, so a failure message points at the
+// exact posting or rank that broke instead of dumping both structures.
+
+// DiffStrings reports the first divergence between two string slices.
+func DiffStrings(path string, want, got []string) error {
+	for i := range want {
+		if i >= len(got) {
+			return fmt.Errorf("%s: got ends at [%d], want %d elements (first missing: %q)", path, i, len(want), want[i])
+		}
+		if want[i] != got[i] {
+			return fmt.Errorf("%s: first divergence at [%d]: want %q, got %q", path, i, want[i], got[i])
+		}
+	}
+	if len(got) > len(want) {
+		return fmt.Errorf("%s: got has %d extra elements (first: %q)", path, len(got)-len(want), got[len(want)])
+	}
+	return nil
+}
+
+// DiffPostings reports the first divergent posting between two posting lists.
+func DiffPostings(path string, want, got []index.Entry) error {
+	for i := range want {
+		if i >= len(got) {
+			return fmt.Errorf("%s: got ends at posting [%d], want %d postings (first missing: %s deg=%.17g)",
+				path, i, len(want), want[i].EntityID, want[i].Degree)
+		}
+		if want[i] != got[i] {
+			return fmt.Errorf("%s: first divergent posting at [%d]: want {%s deg=%.17g}, got {%s deg=%.17g}",
+				path, i, want[i].EntityID, want[i].Degree, got[i].EntityID, got[i].Degree)
+		}
+	}
+	if len(got) > len(want) {
+		return fmt.Errorf("%s: got has %d extra postings (first: %s deg=%.17g)",
+			path, len(got)-len(want), got[len(want)].EntityID, got[len(want)].Degree)
+	}
+	return nil
+}
+
+// DiffIndexes reports the first divergence between two indexes: key order
+// first, then each tag's posting list.
+func DiffIndexes(want, got *index.Index) error {
+	wt := want.Tags()
+	if err := DiffStrings("index keys", wt, got.Tags()); err != nil {
+		return err
+	}
+	for _, tag := range wt {
+		if err := DiffPostings(fmt.Sprintf("tag %q", tag), want.Lookup(tag), got.Lookup(tag)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DiffScored reports the first divergent rank between two ranked lists.
+func DiffScored(path string, want, got []search.Scored) error {
+	for i := range want {
+		if i >= len(got) {
+			return fmt.Errorf("%s: got ends at rank [%d], want %d results (first missing: %s score=%.17g)",
+				path, i, len(want), want[i].EntityID, want[i].Score)
+		}
+		if want[i] != got[i] {
+			return fmt.Errorf("%s: first divergent rank at [%d]: want {%s score=%.17g}, got {%s score=%.17g}",
+				path, i, want[i].EntityID, want[i].Score, got[i].EntityID, got[i].Score)
+		}
+	}
+	if len(got) > len(want) {
+		return fmt.Errorf("%s: got has %d extra results (first: %s score=%.17g)",
+			path, len(got)-len(want), got[len(want)].EntityID, got[len(want)].Score)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"saccs/internal/index"
+	"saccs/internal/lexicon"
+)
+
+// Gen produces random Yelp-world corpora — subjective tags, per-entity review
+// tag multisets, and user utterances — from a seeded PRNG. Two generators
+// with the same seed produce identical streams, so any harness failure is
+// replayable from its seed alone.
+type Gen struct {
+	rng    *rand.Rand
+	domain *lexicon.Domain
+}
+
+// NewGen returns a generator over the restaurants domain.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed)), domain: lexicon.Restaurants()}
+}
+
+func (g *Gen) pick(ss []string) string { return ss[g.rng.Intn(len(ss))] }
+
+// junkWord is a random lowercase letter string — an out-of-vocabulary surface
+// form the similarity measure has never seen.
+func (g *Gen) junkWord() string {
+	n := 3 + g.rng.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + g.rng.Intn(26))
+	}
+	return string(b)
+}
+
+// Tag returns one random subjective tag: mostly in-domain opinion+aspect
+// combinations (positive and negative, sometimes negated), with a small share
+// of out-of-vocabulary junk so unknown-tag paths are exercised.
+func (g *Gen) Tag() string {
+	f := g.domain.Features[g.rng.Intn(len(g.domain.Features))]
+	switch g.rng.Intn(10) {
+	case 0:
+		return f.Name
+	case 1, 2:
+		if len(f.NegOps) > 0 {
+			return g.pick(f.NegOps) + " " + g.pick(f.AspectSyns)
+		}
+		return "not " + g.pick(f.PosOps) + " " + g.pick(f.AspectSyns)
+	case 3:
+		return "not " + g.pick(f.PosOps) + " " + g.pick(f.AspectSyns)
+	case 4:
+		return g.junkWord() + " " + g.junkWord()
+	default:
+		return g.pick(f.PosOps) + " " + g.pick(f.AspectSyns)
+	}
+}
+
+// Tags returns n distinct random tags.
+func (g *Gen) Tags(n int) []string {
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		t := g.Tag()
+		for seen[t] {
+			// The tag space is large; a junk suffix guarantees progress on
+			// the rare collision without skewing the distribution.
+			t += " " + g.junkWord()
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+// Entities returns n entities with random review counts and review-tag
+// multisets, as the extraction stage would hand them to the indexer.
+func (g *Gen) Entities(n int) []index.EntityReviews {
+	out := make([]index.EntityReviews, n)
+	for i := range out {
+		nr := 1 + g.rng.Intn(30)
+		nm := g.rng.Intn(3*nr + 1)
+		er := index.EntityReviews{EntityID: fmt.Sprintf("e%03d", i), ReviewCount: nr}
+		for t := 0; t < nm; t++ {
+			er.Tags = append(er.Tags, g.Tag())
+		}
+		out[i] = er
+	}
+	return out
+}
+
+// slotTraps are words that contain a slot keyword as a proper substring; a
+// word-boundary slot filler must never match them ("comparison" is not
+// paris, "indiana-style" is not indian).
+var slotTraps = []string{
+	"comparison", "indiana-style", "italianate", "lyonnaise",
+	"frenchify", "torontonian", "japanesque", "melbournian",
+}
+
+var genCuisines = []string{"italian", "french", "japanese", "mexican", "indian", "chinese"}
+
+var genLocations = []string{"montreal", "melbourne", "lyon", "paris", "toronto", "sydney"}
+
+// Utterance returns a random user utterance mixing objective slot keywords,
+// subjective tags, filler, and substring traps.
+func (g *Gen) Utterance() string {
+	parts := []string{g.pick([]string{"i want", "find me", "looking for", "any"})}
+	if g.rng.Intn(2) == 0 {
+		parts = append(parts, g.pick(genCuisines))
+	}
+	parts = append(parts, g.pick([]string{"restaurant", "place", "spot"}))
+	if g.rng.Intn(2) == 0 {
+		parts = append(parts, "in", g.pick(genLocations))
+	}
+	parts = append(parts, "with", g.Tag())
+	if g.rng.Intn(3) == 0 {
+		parts = append(parts, g.pick(slotTraps))
+	}
+	if g.rng.Intn(3) == 0 {
+		parts = append(parts, "and", g.Tag())
+	}
+	return strings.Join(parts, " ")
+}
+
+// shuffled returns a permuted copy of ss.
+func (g *Gen) shuffled(ss []string) []string {
+	out := append([]string(nil), ss...)
+	g.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// subset returns a random sorted subset of ids with at least one element
+// (when ids is non-empty).
+func (g *Gen) subset(ids []string) []string {
+	var out []string
+	for _, id := range ids {
+		if g.rng.Intn(3) > 0 {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 && len(ids) > 0 {
+		out = append(out, ids[g.rng.Intn(len(ids))])
+	}
+	return out
+}

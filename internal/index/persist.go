@@ -2,8 +2,10 @@ package index
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Snapshot is the serializable form of an index: tag → posting list. The
@@ -44,10 +46,21 @@ func (ix *Index) Save(w io.Writer) error {
 
 // Load replaces the index's postings with a previously saved snapshot.
 // The receiver keeps its similarity measure and thresholds.
+//
+// Load validates the snapshot fully before touching the index: truncated or
+// corrupt input — trailing garbage, an unknown version, duplicate tags or
+// entities, empty keys, non-finite or negative degrees, postings out of
+// Save's (degree desc, ID asc) order — is rejected with a wrapped error and
+// leaves the index unchanged. It never panics on adversarial input (the
+// FuzzSnapshotDecode target enforces this).
 func (ix *Index) Load(r io.Reader) error {
+	dec := json.NewDecoder(r)
 	var snap Snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+	if err := dec.Decode(&snap); err != nil {
 		return fmt.Errorf("index: decoding snapshot: %w", err)
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("index: corrupt snapshot: trailing data after snapshot value")
 	}
 	if snap.Version != snapshotVersion {
 		return fmt.Errorf("index: unsupported snapshot version %d", snap.Version)
@@ -55,8 +68,14 @@ func (ix *Index) Load(r io.Reader) error {
 	tags := make(map[string][]Entry, len(snap.Tags))
 	order := make([]string, 0, len(snap.Tags))
 	for _, tp := range snap.Tags {
+		if tp.Tag == "" {
+			return fmt.Errorf("index: corrupt snapshot: empty tag key")
+		}
 		if _, dup := tags[tp.Tag]; dup {
 			return fmt.Errorf("index: duplicate tag %q in snapshot", tp.Tag)
+		}
+		if err := validPostings(tp.Tag, tp.Entries); err != nil {
+			return fmt.Errorf("index: corrupt snapshot: %w", err)
 		}
 		tags[tp.Tag] = tp.Entries
 		order = append(order, tp.Tag)
@@ -65,5 +84,32 @@ func (ix *Index) Load(r io.Reader) error {
 	ix.tags = tags
 	ix.order = order
 	ix.mu.Unlock()
+	return nil
+}
+
+// validPostings checks one tag's posting list for the invariants Save
+// guarantees: non-empty entity IDs, no duplicate entity, finite non-negative
+// degrees, and (degree desc, entity ID asc) order.
+func validPostings(tag string, entries []Entry) error {
+	seen := make(map[string]bool, len(entries))
+	for i, e := range entries {
+		if e.EntityID == "" {
+			return fmt.Errorf("tag %q: posting %d has an empty entity ID", tag, i)
+		}
+		if seen[e.EntityID] {
+			return fmt.Errorf("tag %q: duplicate entity %q", tag, e.EntityID)
+		}
+		seen[e.EntityID] = true
+		if math.IsNaN(e.Degree) || math.IsInf(e.Degree, 0) || e.Degree < 0 {
+			return fmt.Errorf("tag %q: entity %q has invalid degree %v", tag, e.EntityID, e.Degree)
+		}
+		if i > 0 {
+			prev := entries[i-1]
+			if prev.Degree < e.Degree || (prev.Degree == e.Degree && prev.EntityID >= e.EntityID) {
+				return fmt.Errorf("tag %q: postings out of order at %d (%q deg=%v before %q deg=%v)",
+					tag, i, prev.EntityID, prev.Degree, e.EntityID, e.Degree)
+			}
+		}
+	}
 	return nil
 }

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingSinkConcurrentWraparound hammers a small ring from many goroutines
+// so every Record races the wraparound path, then checks the buffer holds
+// exactly its capacity of well-formed records. Run under -race this is the
+// PR 1 gap the harness issue calls out.
+func TestRingSinkConcurrentWraparound(t *testing.T) {
+	const (
+		capacity   = 64
+		writers    = 8
+		perWriter  = 500
+		totalSpans = writers * perWriter
+	)
+	ring := NewRingSink(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ring.Record(SpanRecord{
+					ID:       uint64(w*perWriter + i + 1),
+					Name:     "span",
+					Start:    time.Unix(0, int64(i)),
+					Duration: time.Duration(i),
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	spans := ring.Spans()
+	if len(spans) != capacity {
+		t.Fatalf("after %d records ring holds %d spans, want %d", totalSpans, len(spans), capacity)
+	}
+	seen := make(map[uint64]bool, len(spans))
+	for i, s := range spans {
+		if s.ID == 0 || s.Name != "span" {
+			t.Fatalf("slot %d holds a torn record: %+v", i, s)
+		}
+		if seen[s.ID] {
+			t.Fatalf("span ID %d appears twice after wraparound", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+// TestRingSinkOldestFirstAfterWraparound pins the ordering contract with a
+// deterministic sequential fill.
+func TestRingSinkOldestFirstAfterWraparound(t *testing.T) {
+	ring := NewRingSink(4)
+	for i := 1; i <= 10; i++ {
+		ring.Record(SpanRecord{ID: uint64(i), Name: "s"})
+	}
+	spans := ring.Spans()
+	want := []uint64{7, 8, 9, 10}
+	if len(spans) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(spans), len(want))
+	}
+	for i, id := range want {
+		if spans[i].ID != id {
+			t.Fatalf("slot %d: got ID %d, want %d (oldest first)", i, spans[i].ID, id)
+		}
+	}
+	ring.Reset()
+	if got := ring.Spans(); len(got) != 0 {
+		t.Fatalf("after Reset ring still holds %d spans", len(got))
+	}
+	ring.Record(SpanRecord{ID: 99, Name: "s"})
+	if got := ring.Spans(); len(got) != 1 || got[0].ID != 99 {
+		t.Fatalf("ring unusable after Reset: %+v", got)
+	}
+}
+
+// failAfterWriter fails every Write after the first n calls — the
+// disk-full/closed-pipe shape a JSONL sink must absorb.
+type failAfterWriter struct {
+	mu    sync.Mutex
+	n     int
+	buf   bytes.Buffer
+	calls int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.calls++
+	if w.calls > w.n {
+		return 0, errors.New("writer failed")
+	}
+	return w.buf.Write(p)
+}
+
+// TestJSONLSinkWriterErrors checks that a failing writer never panics the
+// sink or the traced operation, that records written before the failure are
+// intact JSON lines, and that the sink keeps accepting records (so a tracer
+// outlives a transient sink failure).
+func TestJSONLSinkWriterErrors(t *testing.T) {
+	w := &failAfterWriter{n: 2}
+	sink := NewJSONLSink(w)
+	for i := 1; i <= 5; i++ {
+		sink.Record(SpanRecord{ID: uint64(i), Name: fmt.Sprintf("s%d", i)})
+	}
+	sc := bufio.NewScanner(bytes.NewReader(w.buf.Bytes()))
+	var got []uint64
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("corrupt JSONL line %q: %v", sc.Text(), err)
+		}
+		got = append(got, rec.ID)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("lines before failure: got IDs %v, want [1 2]", got)
+	}
+}
+
+// TestJSONLSinkConcurrentRecords checks that concurrent emission through the
+// sink's internal lock produces one intact JSON line per span even though the
+// underlying writer is a plain bytes.Buffer.
+func TestJSONLSinkConcurrentRecords(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sink.Record(SpanRecord{ID: uint64(w*perWriter + i + 1), Name: "concurrent"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	seen := make(map[uint64]bool)
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("interleaved/corrupt JSONL line %q: %v", sc.Text(), err)
+		}
+		if seen[rec.ID] {
+			t.Fatalf("span %d written twice", rec.ID)
+		}
+		seen[rec.ID] = true
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("got %d intact lines, want %d", len(seen), writers*perWriter)
+	}
+}
+
+// TestMultiSinkConcurrentFanOut checks fan-out delivery to a ring and a JSONL
+// sink under concurrent emission: both receive every record.
+func TestMultiSinkConcurrentFanOut(t *testing.T) {
+	ring := NewRingSink(10_000)
+	w := &failAfterWriter{n: 1 << 30}
+	sink := MultiSink(ring, NewJSONLSink(w))
+	const writers, perWriter = 4, 100
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sink.Record(SpanRecord{ID: uint64(g*perWriter + i + 1), Name: "fan"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(ring.Spans()); got != writers*perWriter {
+		t.Fatalf("ring received %d spans, want %d", got, writers*perWriter)
+	}
+	lines := bytes.Count(w.buf.Bytes(), []byte("\n"))
+	if lines != writers*perWriter {
+		t.Fatalf("jsonl received %d lines, want %d", lines, writers*perWriter)
+	}
+}

@@ -1,0 +1,76 @@
+package parse
+
+import (
+	"testing"
+
+	"saccs/internal/lexicon"
+	"saccs/internal/tokenize"
+)
+
+var fuzzLex = DomainLexicon(lexicon.Restaurants())
+
+// FuzzBuildTree fuzzes the shallow constituency parser through the real
+// tokenizer. Invariants: every token becomes exactly one leaf carrying its
+// own index, leaf-to-leaf distance is a symmetric premetric (zero on the
+// diagonal, positive and symmetric off it), and SameClause is reflexive —
+// for arbitrary input, including the unpunctuated and typo-ridden text the
+// §5.1 heuristic documents as its failure modes.
+func FuzzBuildTree(f *testing.F) {
+	f.Add("The staff is friendly, helpful and professional. The decor is beautiful")
+	f.Add("great pizza but the waiters were slow and the room was loud")
+	f.Add("...!!!???")
+	f.Add("word")
+	f.Add("no punctuation at all just words running on and on and on forever")
+	f.Add("l'étoile, naïve décor — 100% charming!")
+	f.Fuzz(func(t *testing.T, s string) {
+		tokens := tokenize.Words(s)
+		tree := Build(fuzzLex, tokens)
+		if tree.Root == nil {
+			t.Fatalf("nil root for %q", s)
+		}
+		seen := make([]int, len(tokens))
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if n.Token >= 0 {
+				if n.Token >= len(tokens) {
+					t.Fatalf("leaf token index %d out of range (%d tokens) for %q", n.Token, len(tokens), s)
+				}
+				seen[n.Token]++
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(tree.Root)
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("token %d (%q) appears in %d leaves for %q", i, tokens[i], n, s)
+			}
+		}
+		for i := range tokens {
+			if d := tree.Distance(i, i); d != 0 {
+				t.Fatalf("Distance(%d,%d) = %d for %q", i, i, d, s)
+			}
+			if !tree.SameClause(i, i) {
+				t.Fatalf("SameClause(%d,%d) false for %q", i, i, s)
+			}
+			// Keep the pairwise sweep linear: check each adjacent pair plus
+			// the far end.
+			for _, j := range []int{i + 1, len(tokens) - 1} {
+				if j <= i || j >= len(tokens) {
+					continue
+				}
+				dij, dji := tree.Distance(i, j), tree.Distance(j, i)
+				if dij != dji {
+					t.Fatalf("Distance asymmetric: d(%d,%d)=%d, d(%d,%d)=%d for %q", i, j, dij, j, i, dji, s)
+				}
+				if dij <= 0 {
+					t.Fatalf("Distance(%d,%d) = %d not positive for distinct leaves of %q", i, j, dij, s)
+				}
+			}
+		}
+		if tree.Distance(-1, 0) <= 0 || tree.Distance(0, len(tokens)) <= 0 {
+			t.Fatalf("out-of-range distance not large for %q", s)
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package search
+
+import "testing"
+
+// FuzzParseUtterance fuzzes the dialog shim's intent recognizer and slot
+// filler. Invariants: the intent is always searchRestaurant, only the two
+// known slots are filled, every filled value comes from the keyword lists,
+// and — the word-boundary guarantee — every filled value occurs as a whole
+// word of the utterance ("comparison" must never fill location=paris).
+func FuzzParseUtterance(f *testing.F) {
+	f.Add("I want an italian restaurant in montreal with delicious food")
+	f.Add("a comparison of indiana-style and italianate lyonnaise dining")
+	f.Add("french food in paris or lyon, or japanese in sydney?")
+	f.Add("MONTREAL!!! Italian???")
+	f.Add("")
+	f.Add("chinese\nchinese\tchinese chinese")
+	f.Fuzz(func(t *testing.T, utt string) {
+		in := ParseUtterance(utt)
+		if in.Name != "searchRestaurant" {
+			t.Fatalf("intent %q for %q", in.Name, utt)
+		}
+		words := utteranceWords(utt)
+		known := map[string][]string{SlotCuisine: cuisines, SlotLocation: locations}
+		for slot, val := range in.Slots {
+			vocab, ok := known[slot]
+			if !ok {
+				t.Fatalf("unknown slot %q filled for %q", slot, utt)
+			}
+			inVocab := false
+			for _, v := range vocab {
+				if v == val {
+					inVocab = true
+					break
+				}
+			}
+			if !inVocab {
+				t.Fatalf("slot %s=%q not from keyword list for %q", slot, val, utt)
+			}
+			if !words[val] {
+				t.Fatalf("slot %s=%q filled but not a whole word of %q", slot, val, utt)
+			}
+		}
+	})
+}

@@ -185,43 +185,52 @@ func (r *Ranker) RankTraced(parent *obs.Span, apiResults []string, tags []string
 		}
 		return out[i].EntityID < out[j].EntityID
 	})
+	// The untagged tail is ordered by ID: with no subjective signal to
+	// separate them, the lexicographic order keeps the full ranking total and
+	// independent of the API's result order.
+	tail := len(out)
 	for _, id := range apiResults {
 		if !seen[id] {
 			out = append(out, Scored{EntityID: id})
+			seen[id] = true
 		}
 	}
+	sort.Slice(out[tail:], func(i, j int) bool {
+		return out[tail+i].EntityID < out[tail+j].EntityID
+	})
 	return out
 }
 
 // aggregate computes the §3.3 cross-tag score for one entity. Missing tags
 // contribute zero (mean), or collapse the score (product/min) — which is why
-// the mean behaves best once the intersection is relaxed.
+// the mean behaves best once the intersection is relaxed. The per-tag degrees
+// are combined in sorted order: float addition and multiplication are not
+// associative, so a fixed combination order is what makes the final score —
+// and therefore the ranking — independent of the query's tag order.
 func (r *Ranker) aggregate(perTag []map[string]float64, id string) float64 {
+	vals := make([]float64, len(perTag))
+	for i, m := range perTag {
+		vals[i] = m[id]
+	}
+	sort.Float64s(vals)
 	switch r.Agg {
 	case ProductAgg:
 		p := 1.0
-		for _, m := range perTag {
-			p *= m[id]
+		for _, v := range vals {
+			p *= v
 		}
 		return p
 	case MinAgg:
-		minV := -1.0
-		for _, m := range perTag {
-			v := m[id]
-			if minV < 0 || v < minV {
-				minV = v
-			}
-		}
-		if minV < 0 {
+		if len(vals) == 0 {
 			return 0
 		}
-		return minV
+		return vals[0]
 	default:
 		var s float64
-		for _, m := range perTag {
-			s += m[id]
+		for _, v := range vals {
+			s += v
 		}
-		return s / float64(len(perTag))
+		return s / float64(len(vals))
 	}
 }
 

@@ -1,0 +1,86 @@
+package tagger
+
+import (
+	"hash/fnv"
+	"sync"
+	"testing"
+
+	"saccs/internal/mat"
+	"saccs/internal/tokenize"
+)
+
+// hashEnc is a deterministic stand-in encoder for fuzzing: each token embeds
+// to a small vector derived from its FNV hash. It keeps the fuzz loop fast
+// while still driving real BiLSTM → projection → CRF Viterbi decoding.
+type hashEnc struct{ dim int }
+
+func (h hashEnc) EmbeddingDim() int { return h.dim }
+
+func (h hashEnc) EncodeTokens(tokens []string) []mat.Vec {
+	out := make([]mat.Vec, len(tokens))
+	for i, tok := range tokens {
+		f := fnv.New64a()
+		_, _ = f.Write([]byte(tok))
+		seed := f.Sum64()
+		v := mat.NewVec(h.dim)
+		for d := range v {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			v[d] = float64(int64(seed>>11))/float64(1<<52) - 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+var (
+	fuzzModelOnce sync.Once
+	fuzzModel     *Model
+)
+
+// fuzzTagger builds one small untrained tagger (seeded random weights, hard
+// IOB constraints installed by New) shared by all fuzz iterations.
+func fuzzTagger() *Model {
+	fuzzModelOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Hidden = 8
+		fuzzModel = New(hashEnc{dim: 8}, cfg)
+	})
+	return fuzzModel
+}
+
+// FuzzPredictDecode fuzzes the §4 decode path (BiLSTM forward → emission
+// projection → CRF Viterbi) through the real tokenizer. Invariants: one
+// label per token, labels in range, the decoded sequence respects the IOB
+// structural constraints (ValidStart/ValidTransition — the CRF's hard
+// penalties must dominate any emission score), and span decoding never
+// panics on the result.
+func FuzzPredictDecode(f *testing.F) {
+	f.Add("The food is delicious and the staff is friendly.")
+	f.Add("terrible terrible terrible")
+	f.Add("")
+	f.Add("a")
+	f.Add("pizza pasta pizza pasta pizza pasta pizza pasta pizza pasta pizza pasta")
+	f.Add("日本語 l'étoile 100% !?")
+	f.Fuzz(func(t *testing.T, s string) {
+		m := fuzzTagger()
+		tokens := tokenize.Words(s)
+		labels := m.Predict(tokens)
+		if len(labels) != len(tokens) {
+			t.Fatalf("%d labels for %d tokens (input %q)", len(labels), len(tokens), s)
+		}
+		for i, l := range labels {
+			if l < 0 || l >= tokenize.NumLabels {
+				t.Fatalf("label %d out of range at %d for %q", l, i, s)
+			}
+		}
+		if len(labels) > 0 && !tokenize.ValidStart(labels[0]) {
+			t.Fatalf("decode starts with invalid label %v for %q", labels[0], s)
+		}
+		for i := 1; i < len(labels); i++ {
+			if !tokenize.ValidTransition(labels[i-1], labels[i]) {
+				t.Fatalf("invalid IOB transition %v→%v at %d for %q", labels[i-1], labels[i], i, s)
+			}
+		}
+		_ = tokenize.Spans(labels)
+	})
+}

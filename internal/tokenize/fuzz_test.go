@@ -1,0 +1,90 @@
+package tokenize
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzWords fuzzes the word tokenizer. Invariants: no empty tokens, no
+// whitespace inside a token, every token rune is a lowercase fixed point
+// (ToLower(r) == r), apostrophes only appear inside word tokens, and
+// tokenization is idempotent — re-tokenizing the space-joined token stream
+// reproduces it exactly.
+func FuzzWords(f *testing.F) {
+	f.Add("The food is delicious and the staff is friendly.")
+	f.Add("kazuki's pizza!!! 100% great, isn't it?")
+	f.Add("  \t\n ")
+	f.Add("l'école — déjà vu… naïve café")
+	f.Add("don't stop'n'go '''")
+	f.Add("日本語のレビュー with mixed ASCII 42")
+	f.Add("a'b'c''d '")
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Words(s)
+		for i, tok := range toks {
+			if tok == "" {
+				t.Fatalf("empty token at %d for input %q", i, s)
+			}
+			for _, r := range tok {
+				if unicode.IsSpace(r) {
+					t.Fatalf("whitespace inside token %q for input %q", tok, s)
+				}
+				if unicode.ToLower(r) != r {
+					t.Fatalf("non-lowercased rune %q in token %q for input %q", r, tok, s)
+				}
+			}
+			if strings.HasPrefix(tok, "'") && len([]rune(tok)) > 1 {
+				t.Fatalf("word token %q starts with apostrophe for input %q", tok, s)
+			}
+			if strings.HasSuffix(tok, "'") && len([]rune(tok)) > 1 {
+				t.Fatalf("word token %q ends with apostrophe for input %q", tok, s)
+			}
+		}
+		again := Words(strings.Join(toks, " "))
+		if len(again) != len(toks) {
+			t.Fatalf("tokenization not idempotent for %q: %d tokens, then %d", s, len(toks), len(again))
+		}
+		for i := range toks {
+			if toks[i] != again[i] {
+				t.Fatalf("tokenization not idempotent for %q: token %d %q became %q", s, i, toks[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzSentences fuzzes the sentence splitter. Invariants: no empty or
+// whitespace-only sentences, no sentence starts or ends with space, and the
+// concatenated sentences preserve every non-space rune of the input in order.
+func FuzzSentences(f *testing.F) {
+	f.Add("The food is great. The staff? Rude! No dessert")
+	f.Add("...")
+	f.Add(" leading space. trailing space ")
+	f.Add("one\nsentence\nacross\nlines!")
+	f.Add("no terminator at all")
+	f.Fuzz(func(t *testing.T, s string) {
+		sents := Sentences(s)
+		var got []rune
+		for _, sent := range sents {
+			if strings.TrimSpace(sent) == "" {
+				t.Fatalf("blank sentence for input %q", s)
+			}
+			if sent != strings.TrimSpace(sent) {
+				t.Fatalf("untrimmed sentence %q for input %q", sent, s)
+			}
+			for _, r := range sent {
+				if !unicode.IsSpace(r) {
+					got = append(got, r)
+				}
+			}
+		}
+		var want []rune
+		for _, r := range s {
+			if !unicode.IsSpace(r) {
+				want = append(want, r)
+			}
+		}
+		if string(want) != string(got) {
+			t.Fatalf("non-space runes not preserved for %q: want %q, got %q", s, string(want), string(got))
+		}
+	})
+}
