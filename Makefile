@@ -1,5 +1,5 @@
-# Tier-1 verification lives behind `make ci`: vet + build + race-enabled
-# tests + the correctness harness (differential oracles + property checks
+# Tier-1 verification lives behind `make ci`: lint (gofmt gate + vet) +
+# build + race-enabled tests + the correctness harness (differential oracles + property checks
 # under -race), a bounded fuzz smoke of every fuzz target, and a short
 # parallel-throughput smoke run of saccs-bench. The race run uses -short
 # because the full experiment harness (internal/experiments regenerates every
@@ -19,10 +19,25 @@ FUZZTIME ?= 30s
 # never lower it to make a PR pass.
 COVER_BASELINE ?= 75.2
 
-.PHONY: ci vet build test test-short race race-full bench bench-smoke \
-	check fuzz-smoke cover
+.PHONY: ci lint vet build test test-short race race-full bench bench-smoke \
+	bench-contention check fuzz-smoke cover
 
-ci: vet build race check fuzz-smoke bench-smoke
+ci: lint build race check fuzz-smoke bench-smoke
+
+# lint gates formatting and static analysis: gofmt must report no files, and
+# go vet must pass (with variable-shadow checking when the external shadow
+# analyzer is installed — it is optional, CI images without it still get the
+# full built-in vet suite).
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	@if command -v shadow >/dev/null 2>&1; then \
+		$(GO) vet -vettool=$$(command -v shadow) ./... ./cmd/... ./examples/...; \
+	else \
+		echo "shadow analyzer not installed; skipping shadow vet"; \
+	fi
 
 # ./... covers every package in the module; cmd/ and examples/ are listed
 # explicitly so the gate still covers them if the root pattern is narrowed.
@@ -52,6 +67,13 @@ bench:
 # without slowing CI. It writes no BENCH.json.
 bench-smoke:
 	$(GO) run ./cmd/saccs-bench -only parallel -parallel 4 -parallel-dur 300ms -bench-out ""
+
+# bench-contention measures reader QPS with and without a writer
+# continuously rebuilding (and republishing) the index — the
+# readers-vs-rebuild cost of the snapshot-publication design. Appends
+# contention rows to BENCH.json.
+bench-contention:
+	$(GO) run ./cmd/saccs-bench -only contention -readers 8 -contention-dur 2s
 
 # check runs the correctness harness under the race detector: the
 # internal/check differential oracles (serial vs parallel build, persisted vs

@@ -11,14 +11,21 @@
 //
 // The "parallel" section measures end-to-end query throughput at one
 // goroutine and at -parallel goroutines over the same pipeline — the
-// concurrency contract of the facade (reentrant extraction, RWMutex index).
-// Both sections append to the same BENCH.json.
+// concurrency contract of the facade (reentrant extraction, lock-free
+// snapshot reads). The "contention" section measures what a writer costs the
+// readers: -readers goroutines query continuously for a readers-only
+// baseline pass, then again while one goroutine rebuilds the index in a loop
+// publishing new snapshot generations the whole time. With pinned immutable
+// snapshots the reader QPS of the two passes should be close; a large gap
+// would mean readers are blocking on the writer. All sections append to the
+// same BENCH.json.
 //
 // Usage:
 //
 //	saccs-bench [-scale fast|paper]
-//	            [-only table2,table3,table4,table5,figures,stages,parallel]
+//	            [-only table2,table3,table4,table5,figures,stages,parallel,contention]
 //	            [-parallel N] [-parallel-dur 2s]
+//	            [-readers N] [-contention-dur 2s]
 //	            [-bench-out BENCH.json] [-metrics-addr :9090]
 package main
 
@@ -55,6 +62,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
 	parallelN := flag.Int("parallel", runtime.GOMAXPROCS(0), "goroutines for the parallel query benchmark")
 	parallelDur := flag.Duration("parallel-dur", 2*time.Second, "duration of each parallel benchmark pass")
+	readersN := flag.Int("readers", runtime.GOMAXPROCS(0), "reader goroutines for the contention benchmark")
+	contentionDur := flag.Duration("contention-dur", 2*time.Second, "duration of each contention benchmark pass")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -106,8 +115,9 @@ func main() {
 	run("table2", func() { experiments.Table2(scale, os.Stdout) })
 	run("stages", func() { stageBenchmarks(o, doc) })
 	run("parallel", func() { parallelBenchmarks(o, doc, *parallelN, *parallelDur) })
+	run("contention", func() { contentionBenchmarks(o, doc, *readersN, *contentionDur) })
 
-	if *benchOut != "" && (len(doc.Stages) > 0 || len(doc.Parallel) > 0) {
+	if *benchOut != "" && (len(doc.Stages) > 0 || len(doc.Parallel) > 0 || len(doc.Contention) > 0) {
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
@@ -116,7 +126,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *benchOut, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d stages, %d parallel passes)\n", *benchOut, len(doc.Stages), len(doc.Parallel))
+		fmt.Printf("wrote %s (%d stages, %d parallel passes, %d contention passes)\n",
+			*benchOut, len(doc.Stages), len(doc.Parallel), len(doc.Contention))
 	}
 }
 
@@ -137,11 +148,24 @@ type parallelResult struct {
 	QPS        float64 `json:"qps"`
 }
 
+// contentionResult is one pass of the readers-vs-rebuild benchmark.
+type contentionResult struct {
+	// Mode is "readers-only" (baseline) or "readers+rebuild" (one writer
+	// republishing the index continuously under the readers).
+	Mode     string  `json:"mode"`
+	Readers  int     `json:"readers"`
+	Queries  int64   `json:"queries"`
+	Rebuilds int64   `json:"rebuilds"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+}
+
 // benchFile is the BENCH.json document.
 type benchFile struct {
-	Command  string           `json:"command"`
-	Stages   []stageResult    `json:"stages,omitempty"`
-	Parallel []parallelResult `json:"parallel,omitempty"`
+	Command    string             `json:"command"`
+	Stages     []stageResult      `json:"stages,omitempty"`
+	Parallel   []parallelResult   `json:"parallel,omitempty"`
+	Contention []contentionResult `json:"contention,omitempty"`
 }
 
 // benchPipeline builds the fast pipeline the stage and parallel benchmarks
@@ -312,4 +336,79 @@ func parallelBenchmarks(o *obs.Observer, doc *benchFile, workers int, dur time.D
 			rows[1].Goroutines, rows[1].QPS/rows[0].QPS, runtime.GOMAXPROCS(0))
 	}
 	doc.Parallel = rows
+}
+
+// contentionBenchmarks measures reader throughput with and without a
+// concurrent writer. Pass one: `readers` goroutines run end-to-end queries
+// for dur (baseline). Pass two: the same readers run while one goroutine
+// rebuilds the indexed tag set in a tight loop, publishing a new snapshot
+// generation per iteration. The printed slowdown is the price readers pay
+// for a continuously churning writer — with pinned immutable snapshots it
+// should stay near 1x aside from the CPU the writer itself burns.
+func contentionBenchmarks(o *obs.Observer, doc *benchFile, readers int, dur time.Duration) {
+	if readers < 1 {
+		readers = 1
+	}
+	svc, _, _ := buildBenchPipeline(o)
+	canon := svc.CanonicalTags()
+	nTags := 8
+	if nTags > len(canon) {
+		nTags = len(canon)
+	}
+	utterances := []string{
+		"I want an Italian restaurant in Montreal with delicious food",
+		"somewhere with friendly staff and a quiet atmosphere",
+		"good food and attentive waiters please",
+		"a place with creative cooking and amazing pizza",
+	}
+	measure := func(mode string, rebuild bool) contentionResult {
+		var queries, rebuilds atomic.Int64
+		var wg sync.WaitGroup
+		deadline := time.Now().Add(dur)
+		start := time.Now()
+		for w := 0; w < readers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; time.Now().Before(deadline); i++ {
+					svc.Query(utterances[i%len(utterances)])
+					queries.Add(1)
+				}
+			}(w)
+		}
+		if rebuild {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					svc.IndexTags(canon[:nTags])
+					rebuilds.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		return contentionResult{
+			Mode:     mode,
+			Readers:  readers,
+			Queries:  queries.Load(),
+			Rebuilds: rebuilds.Load(),
+			Seconds:  elapsed,
+			QPS:      float64(queries.Load()) / elapsed,
+		}
+	}
+	fmt.Printf("%-18s %8s %10s %10s %10s %12s\n", "mode", "readers", "queries", "rebuilds", "seconds", "qps")
+	rows := []contentionResult{
+		measure("readers-only", false),
+		measure("readers+rebuild", true),
+	}
+	for _, r := range rows {
+		fmt.Printf("%-18s %8d %10d %10d %10.2f %12.1f\n",
+			r.Mode, r.Readers, r.Queries, r.Rebuilds, r.Seconds, r.QPS)
+	}
+	if rows[0].QPS > 0 {
+		fmt.Printf("reader slowdown under continuous rebuild: %.2fx (GOMAXPROCS=%d)\n",
+			rows[0].QPS/rows[1].QPS, runtime.GOMAXPROCS(0))
+	}
+	doc.Contention = rows
 }

@@ -49,6 +49,9 @@ func DefaultSuite(seed int64) []Check {
 		{"oracle/concurrent-query", func() error {
 			return QueryOracle(seed+3, 8, 24)
 		}},
+		{"oracle/snapshot-pinning", func() error {
+			return SnapshotOracle(seed+9, 8, 24)
+		}},
 		{"prop/theta-filter-monotonic", func() error {
 			return ThetaFilterMonotonic(seed+4, 30)
 		}},

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strings"
@@ -121,9 +122,23 @@ func (e *Extractor) ExtractTags(text string) []string {
 // ExtractTagsTraced is ExtractTags with per-sentence stage spans attached to
 // parent (see ExtractFromTokensTraced).
 func (e *Extractor) ExtractTagsTraced(parent *obs.Span, text string) []string {
+	// context.Background is never cancelled, so the error path is dead.
+	tags, _ := e.ExtractTagsCtx(context.Background(), parent, text)
+	return tags
+}
+
+// ExtractTagsCtx is ExtractTagsTraced with cooperative cancellation: the
+// context is polled before each sentence's decode, so a cancelled or expired
+// context aborts between sentences with ctx's error and no partial tag list.
+// (A single sentence's Viterbi decode is not interruptible — stage
+// boundaries are the cancellation points.)
+func (e *Extractor) ExtractTagsCtx(ctx context.Context, parent *obs.Span, text string) ([]string, error) {
 	var tags []string
 	seen := map[string]bool{}
 	for _, sent := range tokenize.Sentences(text) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, tag := range e.ExtractFromTokensTraced(parent, tokenize.Words(sent)) {
 			if !seen[tag] {
 				seen[tag] = true
@@ -131,7 +146,7 @@ func (e *Extractor) ExtractTagsTraced(parent *obs.Span, text string) []string {
 			}
 		}
 	}
-	return tags
+	return tags, nil
 }
 
 // ReviewTagSource yields subjective tags for a review. NeuralSource runs the
@@ -337,15 +352,18 @@ func (s *Service) IndexPending() []string {
 
 // QueryTags answers a query expressed directly as subjective tags plus
 // objective slots (the Table 2 harness path). Unknown tags go to the
-// history.
+// history. The whole query reads one pinned index snapshot, so it is
+// lock-free and unaffected by concurrent indexing rounds.
 func (s *Service) QueryTags(slots map[string]string, tags []string) []search.Scored {
+	snap := s.Index.Current()
 	apiResults := s.API.Search(slots)
 	for _, t := range tags {
-		if !s.Index.Has(strings.ToLower(t)) {
+		if !snap.Has(strings.ToLower(t)) {
 			s.History.Add(strings.ToLower(t))
 		}
 	}
-	ranked := s.Ranker.Rank(apiResults, lower(tags))
+	rk := &search.Ranker{Index: snap, ThetaFilter: s.Cfg.ThetaFilter, Agg: s.Cfg.Agg}
+	ranked := rk.Rank(apiResults, lower(tags))
 	if s.Cfg.TopK > 0 && len(ranked) > s.Cfg.TopK {
 		ranked = ranked[:s.Cfg.TopK]
 	}
@@ -357,33 +375,71 @@ func (s *Service) QueryTags(slots map[string]string, tags []string) []search.Sco
 // observer attached (SetObserver) it produces one root "query" span whose
 // children time every stage, and per-stage latency histograms.
 func (s *Service) Query(utterance string) Response {
+	// context.Background is never cancelled, so the error path is dead.
+	resp, _ := s.QueryCtx(context.Background(), utterance)
+	return resp
+}
+
+// QueryCtx is Query with cooperative cancellation: the context is polled at
+// every stage boundary (parse → tagger.decode → pairing → objective → rank),
+// between extraction sentences, and inside the per-tag similarity scan. On a
+// cancelled or expired context it returns ctx's error and a zero Response —
+// never partial results — and the root span (plus the interrupted stage's
+// span) carries a cancelled/deadline status.
+//
+// The query pins one index snapshot up front: every index probe reads that
+// immutable generation lock-free, so a concurrent indexing round neither
+// blocks nor changes the answer mid-request.
+func (s *Service) QueryCtx(ctx context.Context, utterance string) (Response, error) {
 	var t0 time.Time
 	if s.Obs != nil {
 		t0 = time.Now()
 	}
 	root := s.Obs.StartSpan("query").Set("utterance_len", len(utterance))
+	fail := func(err error) (Response, error) {
+		if s.Obs != nil {
+			s.Obs.Counter("query.interrupted.total").Inc()
+		}
+		root.SetStatus(err).End()
+		return Response{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	snap := s.Index.Current()
 
 	st := obs.BeginStage(s.Obs, root, "parse")
 	intent := search.ParseUtterance(utterance)
 	st.End()
 
-	tags := s.Extractor.ExtractTagsTraced(root, utterance)
+	tags, err := s.Extractor.ExtractTagsCtx(ctx, root, utterance)
+	if err != nil {
+		return fail(err)
+	}
 
 	var unknown []string
 	for _, t := range tags {
-		if !s.Index.Has(t) {
+		if !snap.Has(t) {
 			unknown = append(unknown, t)
 			s.History.Add(t)
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
 	st = obs.BeginStage(s.Obs, root, "objective")
 	apiResults := s.API.Search(intent.Slots)
 	st.Span().Set("results", len(apiResults))
 	st.End()
 
 	st = obs.BeginStage(s.Obs, root, "rank")
-	results := s.Ranker.RankTraced(st.Span(), apiResults, tags)
+	rk := &search.Ranker{Index: snap, ThetaFilter: s.Cfg.ThetaFilter, Agg: s.Cfg.Agg}
+	results, err := rk.RankCtx(ctx, st.Span(), apiResults, tags)
+	if err != nil {
+		st.EndErr(err)
+		return fail(err)
+	}
 	st.End()
 	if s.Cfg.TopK > 0 && len(results) > s.Cfg.TopK {
 		results = results[:s.Cfg.TopK]
@@ -396,7 +452,7 @@ func (s *Service) Query(utterance string) Response {
 	}
 	root.Set("tags", len(tags)).Set("unknown", len(unknown)).Set("results", len(results))
 	root.End()
-	return Response{Intent: intent, Tags: tags, UnknownTags: unknown, Results: results}
+	return Response{Intent: intent, Tags: tags, UnknownTags: unknown, Results: results}, nil
 }
 
 // CanonicalTags returns the world's feature tags sorted — the 18 tags of

@@ -31,14 +31,9 @@ func DynamicTheta(base float64, tag string) float64 {
 	return base - specificity
 }
 
-// ResolveDynamic is Resolve with a per-tag dynamic θ_filter. It takes the
-// shared lock exactly once, so the exact-hit check and the similar-tag union
-// see one consistent index state.
+// ResolveDynamic is Resolve with a per-tag dynamic θ_filter. It reads one
+// pinned snapshot, so the exact-hit check and the similar-tag union see one
+// consistent index generation.
 func (ix *Index) ResolveDynamic(tag string, baseTheta float64) []Entry {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if entries, ok := ix.tags[tag]; ok {
-		return append([]Entry(nil), entries...)
-	}
-	return ix.lookupSimilarLocked(tag, DynamicTheta(baseTheta, tag))
+	return ix.Current().ResolveDynamic(tag, baseTheta)
 }

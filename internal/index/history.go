@@ -1,0 +1,141 @@
+package index
+
+import "sync"
+
+// History is the user tag history of §3.1: unknown tags extracted from user
+// utterances queue here until the next indexing round. It is safe for
+// concurrent use — queries on parallel conversations append to one shared
+// history.
+//
+// The history remembers every tag it has ever queued (so a drained tag is
+// not re-queued on the next utterance). Over a long conversational session
+// that memory grows without bound unless capped: SetCap bounds the seen-set
+// to the n most recently first-seen tags, evicting oldest-first. An evicted
+// tag is forgotten entirely — dropped from the pending queue if still queued,
+// and re-queued like a brand-new tag if a later utterance mentions it again.
+type History struct {
+	mu      sync.Mutex
+	cap     int
+	pending []string
+	seen    map[string]bool
+	// arrival records seen tags oldest-first, driving eviction order.
+	arrival []string
+}
+
+// NewHistory returns an empty, unbounded history.
+func NewHistory() *History { return &History{seen: map[string]bool{}} }
+
+// SetCap bounds the history's memory to the n most recently first-seen tags
+// (0 or negative removes the bound). If the history already holds more than
+// n tags, the oldest are evicted immediately.
+func (h *History) SetCap(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	h.cap = n
+	h.evictLocked()
+}
+
+// Cap returns the configured bound (0 = unbounded).
+func (h *History) Cap() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cap
+}
+
+// Add queues a tag once; duplicates and the empty tag are ignored. When the
+// cap is exceeded the oldest-seen tag is evicted.
+func (h *History) Add(tag string) {
+	if tag == "" {
+		return
+	}
+	h.mu.Lock()
+	if !h.seen[tag] {
+		h.seen[tag] = true
+		h.arrival = append(h.arrival, tag)
+		h.pending = append(h.pending, tag)
+		h.evictLocked()
+	}
+	h.mu.Unlock()
+}
+
+// evictLocked drops oldest-seen tags until the cap holds; h.mu must be held.
+func (h *History) evictLocked() {
+	if h.cap <= 0 {
+		return
+	}
+	for len(h.arrival) > h.cap {
+		oldest := h.arrival[0]
+		h.arrival = h.arrival[1:]
+		delete(h.seen, oldest)
+		for i, t := range h.pending {
+			if t == oldest {
+				h.pending = append(h.pending[:i], h.pending[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Pending returns queued tags in arrival order (a defensive copy; the query
+// path should prefer Each, which does not allocate).
+func (h *History) Pending() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.pending...)
+}
+
+// Each calls f for every queued tag in arrival order without copying,
+// stopping early when f returns false. f must not call back into the
+// history (the lock is held).
+func (h *History) Each(f func(tag string) bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, t := range h.pending {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// Drain returns and clears the queue (the seen-set persists so a drained
+// tag is not re-queued).
+func (h *History) Drain() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := h.pending
+	h.pending = nil
+	return out
+}
+
+// Requeue returns previously drained tags to the front of the queue — the
+// recovery path for an indexing round that was cancelled after draining.
+// Tags already queued or no longer remembered (evicted since the drain) are
+// skipped.
+func (h *History) Requeue(tags []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	queued := make(map[string]bool, len(h.pending))
+	for _, t := range h.pending {
+		queued[t] = true
+	}
+	var front []string
+	for _, t := range tags {
+		if h.seen[t] && !queued[t] {
+			front = append(front, t)
+			queued[t] = true
+		}
+	}
+	if len(front) > 0 {
+		h.pending = append(front, h.pending...)
+	}
+}
+
+// Len returns the number of queued tags.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pending)
+}

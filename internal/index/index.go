@@ -9,23 +9,32 @@
 // index tags (§3.2) and queued in the user tag history for the next indexing
 // round — the adaptive loop of Fig. 1.
 //
-// # Concurrency
+// # Concurrency: read-copy-update
 //
-// Index is safe for concurrent use: reads (Has, Lookup, Resolve, ResolveEach,
-// Save, …) take a shared lock, writes (AddTag, Build, Load) an exclusive one,
-// so queries on parallel conversations can overlap with indexing rounds.
-// Build and AddTag additionally fan their Eq. 1 work out across a bounded
-// worker pool (SetWorkers) — Build across tags, AddTag across entity chunks —
-// and merge deterministically, so a parallel build is byte-identical to a
-// serial one. Similarity scores are cached in a bounded sim.Memo, so a
-// repeated (tag, reviewTag) pair is never recomputed.
+// The index is split into a mutable Builder (the write side: Eq. 1 posting
+// computation, worker pool, similarity memo) and an immutable Snapshot (the
+// read side: lock-free probes over a frozen tag → postings map), published
+// through an atomic pointer. Queries pin one Snapshot with Current at the
+// start of the request and run against it lock-free for the request's whole
+// lifetime; Build/AddTag/Load compute the next generation off to the side
+// and publish it with a single atomic store. Readers in flight keep their
+// old snapshot — a rebuild can neither block nor change a running query.
+// Writers are serialized against each other by a small publish mutex that no
+// reader ever touches.
+//
+// Build fans its Eq. 1 work out across a bounded worker pool (SetWorkers) —
+// across tags for batch builds, across entity chunks for single-tag AddTag —
+// and merges deterministically, so a parallel build is byte-identical to a
+// serial one. Similarity scores are cached in a bounded sim.Memo shared by
+// every generation, so a repeated (tag, reviewTag) pair is never recomputed.
+// The BuildCtx/AddTagCtx variants poll their context between tags and
+// entities and abort without publishing when it is cancelled.
 package index
 
 import (
-	"math"
-	"runtime"
-	"sort"
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"saccs/internal/obs"
@@ -53,42 +62,31 @@ type EntityReviews struct {
 	Tags        []string
 }
 
-// Index is the subjective tag inverted index.
+// Index is the subjective tag inverted index: a Builder computing posting
+// lists off to the side, plus the atomically published current Snapshot.
+// All read methods (Has, Lookup, Resolve, …) delegate to the snapshot
+// current at call time; a request that needs one consistent view across
+// several probes should pin Current() once and read through it.
 type Index struct {
-	// mu guards every field below it. Public methods take it exactly once
-	// (Go's RWMutex is not reentrant); internal helpers assume it is held.
-	mu sync.RWMutex
+	// b computes posting lists and owns the indexing configuration.
+	b *Builder
 
-	// memo caches the similarity measure's pairwise scores (bounded, sharded,
-	// safe for concurrent use). It wraps the measure passed to New.
-	memo *sim.Memo
+	// snap is the current published generation; never nil after New.
+	snap atomic.Pointer[Snapshot]
 
-	thetaIndex float64
-	// reviewWeight applies Eq. 1's log(|Re|+1) factor; disabling it is the
-	// ablation of the review-count weighting design choice.
-	reviewWeight bool
-	// frequencyAware scales degrees by the square root of the matched
-	// mention rate (mentions per review).
-	frequencyAware bool
-	// workers bounds the indexing worker pool; 0 means GOMAXPROCS.
-	workers int
-	// tags maps an index tag to its posting list, sorted by degree desc.
-	tags map[string][]Entry
-	// order preserves insertion order for deterministic iteration.
-	order []string
+	// publishMu serializes writers (Build, AddTag, Load, SetObserver)
+	// deriving the next generation from the current one. Readers never
+	// acquire it.
+	publishMu sync.Mutex
 
-	// observability (nil when disabled; see SetObserver).
+	// Write-side observability (nil when disabled; see SetObserver, which
+	// must be called before concurrent use).
 	o            *obs.Observer
 	addTagHist   *obs.Histogram
 	buildHist    *obs.Histogram
-	resolveHist  *obs.Histogram
 	tagsGauge    *obs.Gauge
 	workersGauge *obs.Gauge
 	entriesCtr   *obs.Counter
-	matchedCtr   *obs.Counter
-	conflictCtr  *obs.Counter
-	exactCtr     *obs.Counter
-	similarCtr   *obs.Counter
 }
 
 // New returns an empty index using the given similarity measure and
@@ -96,14 +94,25 @@ type Index struct {
 // is on by default, as is the similarity memo; the worker pool defaults to
 // GOMAXPROCS.
 func New(measure sim.Measure, thetaIndex float64) *Index {
-	return &Index{
-		memo:           sim.NewMemo(measure),
-		thetaIndex:     thetaIndex,
-		reviewWeight:   true,
-		frequencyAware: true,
-		tags:           map[string][]Entry{},
-	}
+	b := NewBuilder(measure, thetaIndex)
+	ix := &Index{b: b}
+	ix.snap.Store(&Snapshot{
+		memo:       b.Memo(),
+		thetaIndex: thetaIndex,
+		tags:       map[string][]Entry{},
+	})
+	return ix
 }
+
+// Current returns the currently published snapshot. The returned value is
+// immutable and remains valid (and unchanged) for as long as the caller
+// holds it, no matter how many rebuilds publish after it — pin it once per
+// request for a consistent, lock-free view.
+func (ix *Index) Current() *Snapshot { return ix.snap.Load() }
+
+// Builder exposes the write side (for advanced callers that compute posting
+// lists themselves; most should use Build/AddTag).
+func (ix *Index) Builder() *Builder { return ix.b }
 
 // SetObserver attaches runtime observability: indexing rounds record build
 // latency, worker count, and tag/entry counts; lookups record resolution
@@ -111,263 +120,106 @@ func New(measure sim.Measure, thetaIndex float64) *Index {
 // hit/miss/eviction traffic. Call before concurrent use; a nil observer
 // (the default) keeps every hot path free of instrumentation cost.
 func (ix *Index) SetObserver(o *obs.Observer) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.publishMu.Lock()
+	defer ix.publishMu.Unlock()
 	ix.o = o
-	ix.memo.SetObserver(o)
+	ix.b.SetObserver(o)
 	if o == nil {
-		ix.addTagHist, ix.buildHist, ix.resolveHist = nil, nil, nil
+		ix.addTagHist, ix.buildHist = nil, nil
 		ix.tagsGauge, ix.workersGauge = nil, nil
-		ix.entriesCtr, ix.matchedCtr, ix.conflictCtr = nil, nil, nil
-		ix.exactCtr, ix.similarCtr = nil, nil
-		return
+		ix.entriesCtr = nil
+	} else {
+		ix.addTagHist = o.Histogram("index.add_tag")
+		ix.buildHist = o.Histogram("index.build")
+		ix.tagsGauge = o.Gauge("index.tags")
+		ix.workersGauge = o.Gauge("index.build.workers")
+		ix.entriesCtr = o.Counter("index.entries.total")
 	}
-	ix.addTagHist = o.Histogram("index.add_tag")
-	ix.buildHist = o.Histogram("index.build")
-	ix.resolveHist = o.Histogram("index.resolve")
-	ix.tagsGauge = o.Gauge("index.tags")
-	ix.workersGauge = o.Gauge("index.build.workers")
-	ix.entriesCtr = o.Counter("index.entries.total")
-	ix.matchedCtr = o.Counter("index.matched_mentions.total")
-	ix.conflictCtr = o.Counter("index.contradicted_mentions.total")
-	ix.exactCtr = o.Counter("index.resolve.exact.total")
-	ix.similarCtr = o.Counter("index.resolve.similar.total")
+	// Republish the current contents with re-wired read instruments.
+	ix.snap.Store(ix.snap.Load().withObserver(o))
 }
 
 // SetReviewWeighting toggles Eq. 1's log(|Re|+1) factor (ablation knob).
-// It affects subsequent AddTag calls only.
-func (ix *Index) SetReviewWeighting(on bool) {
-	ix.mu.Lock()
-	ix.reviewWeight = on
-	ix.mu.Unlock()
-}
+// It affects subsequent builds only.
+func (ix *Index) SetReviewWeighting(on bool) { ix.b.SetReviewWeighting(on) }
 
 // SetFrequencyAware toggles the mention-rate factor (ablation knob).
-func (ix *Index) SetFrequencyAware(on bool) {
-	ix.mu.Lock()
-	ix.frequencyAware = on
-	ix.mu.Unlock()
-}
+func (ix *Index) SetFrequencyAware(on bool) { ix.b.SetFrequencyAware(on) }
 
-// SetWorkers bounds the indexing worker pool: Build fans out across tags and
-// AddTag across entity chunks with at most n goroutines. n ≤ 0 restores the
-// default (GOMAXPROCS); n = 1 forces serial indexing. The merged result is
-// identical for every worker count.
-func (ix *Index) SetWorkers(n int) {
-	if n < 0 {
-		n = 0
-	}
-	ix.mu.Lock()
-	ix.workers = n
-	ix.mu.Unlock()
-}
+// SetWorkers bounds the indexing worker pool; see Builder.SetWorkers.
+func (ix *Index) SetWorkers(n int) { ix.b.SetWorkers(n) }
 
 // MemoStats returns the similarity memo's lifetime hits, misses, and
 // whole-shard evictions.
 func (ix *Index) MemoStats() (hits, misses, evictions int64) {
-	return ix.memo.Stats()
+	return ix.b.Memo().Stats()
 }
 
-// degCfg is an immutable snapshot of the knobs Eq. 1 depends on, taken once
-// per indexing round so worker goroutines never race the Set* methods.
-type degCfg struct {
-	theta          float64
-	reviewWeight   bool
-	frequencyAware bool
-	workers        int
-	matchedCtr     *obs.Counter
-	conflictCtr    *obs.Counter
-}
-
-// snapshotCfg captures the indexing configuration under the read lock.
-func (ix *Index) snapshotCfg() degCfg {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	w := ix.workers
-	if w == 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	return degCfg{
-		theta:          ix.thetaIndex,
-		reviewWeight:   ix.reviewWeight,
-		frequencyAware: ix.frequencyAware,
-		workers:        w,
-		matchedCtr:     ix.matchedCtr,
-		conflictCtr:    ix.conflictCtr,
-	}
-}
-
-// Has reports whether tag is an index key (§3.2's "t ∈ index.keys").
-func (ix *Index) Has(tag string) bool {
-	ix.mu.RLock()
-	_, ok := ix.tags[tag]
-	ix.mu.RUnlock()
-	return ok
-}
-
-// Tags returns the index keys in insertion order (a defensive copy; the
-// query path should prefer EachTag, which does not allocate).
-func (ix *Index) Tags() []string {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return append([]string(nil), ix.order...)
-}
-
-// EachTag calls f for every index key in insertion order, stopping early
-// when f returns false. Unlike Tags it performs no copy. f must not call
-// back into the index (the lock is held).
-func (ix *Index) EachTag(f func(tag string) bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	for _, t := range ix.order {
-		if !f(t) {
-			return
-		}
-	}
-}
-
-// EachEntry calls f for every posting of an exact index tag in degree order,
-// stopping early when f returns false. Unlike Lookup it performs no copy.
-// f must not call back into the index (the lock is held).
-func (ix *Index) EachEntry(tag string, f func(Entry) bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	for _, e := range ix.tags[tag] {
-		if !f(e) {
-			return
-		}
-	}
-}
-
-// Len returns the number of indexed tags.
-func (ix *Index) Len() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.order)
-}
-
-// computeEntries runs Eq. 1 for one tag against every entity, fanning out
-// across cfg.workers contiguous entity chunks when parallel is set. Chunk
-// results concatenate in input order before the fully tie-broken sort, so the
-// posting list is identical for any worker count.
-func (ix *Index) computeEntries(tag string, entities []EntityReviews, cfg degCfg, parallel bool) []Entry {
-	w := cfg.workers
-	if !parallel || w > len(entities) {
-		w = 1
-	}
-	var entries []Entry
-	if w <= 1 {
-		for _, e := range entities {
-			deg, matched := degreeOfTruth(ix.memo, tag, e, cfg)
-			if matched == 0 {
-				continue
-			}
-			entries = append(entries, Entry{EntityID: e.EntityID, Degree: deg})
-		}
-	} else {
-		chunks := make([][]Entry, w)
-		var wg sync.WaitGroup
-		size := (len(entities) + w - 1) / w
-		for c := 0; c < w; c++ {
-			lo := c * size
-			hi := lo + size
-			if hi > len(entities) {
-				hi = len(entities)
-			}
-			wg.Add(1)
-			go func(c int, part []EntityReviews) {
-				defer wg.Done()
-				var out []Entry
-				for _, e := range part {
-					deg, matched := degreeOfTruth(ix.memo, tag, e, cfg)
-					if matched == 0 {
-						continue
-					}
-					out = append(out, Entry{EntityID: e.EntityID, Degree: deg})
-				}
-				chunks[c] = out
-			}(c, entities[lo:hi])
-		}
-		wg.Wait()
-		for _, part := range chunks {
-			entries = append(entries, part...)
-		}
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Degree != entries[j].Degree {
-			return entries[i].Degree > entries[j].Degree
-		}
-		return entries[i].EntityID < entries[j].EntityID
-	})
-	return entries
-}
-
-// insertLocked installs a posting list; ix.mu must be held exclusively.
-func (ix *Index) insertLocked(tag string, entries []Entry) {
-	if _, exists := ix.tags[tag]; !exists {
-		ix.order = append(ix.order, tag)
-	}
-	ix.tags[tag] = entries
+// publish installs next as the current generation and returns its key count.
+func (ix *Index) publish(next *Snapshot) int {
+	ix.snap.Store(next)
+	return len(next.order)
 }
 
 // AddTag runs one indexing round for a single tag (Fig. 1's indexer): every
 // entity whose review tags include a mention similar enough to the tag is
 // added with its Eq. 1 degree of truth, fanning out across the worker pool
-// for large entity sets. Re-adding a tag recomputes its posting list.
+// for large entity sets. Re-adding a tag recomputes its posting list. The
+// new generation is published atomically; readers in flight keep theirs.
 func (ix *Index) AddTag(tag string, entities []EntityReviews) {
+	_ = ix.AddTagCtx(context.Background(), tag, entities)
+}
+
+// AddTagCtx is AddTag with cooperative cancellation: the posting computation
+// polls ctx per entity, and a cancelled or expired context aborts the round
+// with ctx's error before anything is published — the index is unchanged.
+func (ix *Index) AddTagCtx(ctx context.Context, tag string, entities []EntityReviews) error {
 	var t0 time.Time
 	if ix.o != nil {
 		t0 = time.Now()
 	}
-	cfg := ix.snapshotCfg()
-	entries := ix.computeEntries(tag, entities, cfg, true)
-	ix.mu.Lock()
-	ix.insertLocked(tag, entries)
-	n := len(ix.order)
-	ix.mu.Unlock()
+	cfg := ix.b.config()
+	entries, err := ix.b.PostingsForTag(ctx, tag, entities, cfg)
+	if err != nil {
+		return err
+	}
+	ix.publishMu.Lock()
+	n := ix.publish(ix.snap.Load().with([]string{tag}, [][]Entry{entries}))
+	ix.publishMu.Unlock()
 	if ix.o != nil {
 		ix.addTagHist.Observe(time.Since(t0))
 		ix.entriesCtr.Add(int64(len(entries)))
 		ix.tagsGauge.Set(float64(n))
 	}
+	return nil
 }
 
 // Build indexes a whole tag set in one pass, fanning out across the worker
 // pool — one goroutine per tag, each computing its posting list serially —
-// then merging in input order under a single exclusive lock. The resulting
+// then deriving and atomically publishing the next generation. The resulting
 // index is byte-identical to a serial build. Latency, worker count, and
 // resulting size are recorded when an observer is attached.
 func (ix *Index) Build(tags []string, entities []EntityReviews) {
+	_ = ix.BuildCtx(context.Background(), tags, entities)
+}
+
+// BuildCtx is Build with cooperative cancellation: worker loops poll ctx
+// between tags and entities, and a cancelled or expired context aborts the
+// whole round with ctx's error before anything is published — readers keep
+// seeing the previous generation and no partial build ever becomes visible.
+func (ix *Index) BuildCtx(ctx context.Context, tags []string, entities []EntityReviews) error {
 	var t0 time.Time
 	if ix.o != nil {
 		t0 = time.Now()
 	}
-	cfg := ix.snapshotCfg()
-	results := make([][]Entry, len(tags))
-	if cfg.workers <= 1 || len(tags) < 2 {
-		for i, t := range tags {
-			results[i] = ix.computeEntries(t, entities, cfg, false)
-		}
-	} else {
-		sem := make(chan struct{}, cfg.workers)
-		var wg sync.WaitGroup
-		for i, t := range tags {
-			wg.Add(1)
-			go func(i int, t string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				results[i] = ix.computeEntries(t, entities, cfg, false)
-				<-sem
-			}(i, t)
-		}
-		wg.Wait()
+	cfg := ix.b.config()
+	results, err := ix.b.Postings(ctx, tags, entities, cfg)
+	if err != nil {
+		return err
 	}
-	ix.mu.Lock()
-	for i, t := range tags {
-		ix.insertLocked(t, results[i])
-	}
-	n := len(ix.order)
-	ix.mu.Unlock()
+	ix.publishMu.Lock()
+	n := ix.publish(ix.snap.Load().with(tags, results))
+	ix.publishMu.Unlock()
 	if ix.o != nil {
 		ix.buildHist.Observe(time.Since(t0))
 		var total int64
@@ -379,226 +231,56 @@ func (ix *Index) Build(tags []string, entities []EntityReviews) {
 		ix.workersGauge.Set(float64(cfg.workers))
 		ix.o.Gauge("index.build.entities").Set(float64(len(entities)))
 	}
+	return nil
 }
 
-// degreeOfTruth computes Eq. 1 for (tag, entity): the mean similarity of the
-// entity's matching review tags, weighted by log(|Re|+1). When the measure
-// is contradiction-aware, review tags that contradict the query tag (same
-// concept, opposite polarity — "bland food" against "delicious food") scale
-// the degree by the support ratio matched/(matched+contradicted): certainty
-// about a tag drops when reviews disagree. Similarity lookups go through the
-// memo, so a repeated (tag, reviewTag) pair costs a map probe. The second
-// return is |T_e^tag|. Free function over an immutable cfg so indexing
-// workers share no mutable state.
-func degreeOfTruth(memo *sim.Memo, tag string, e EntityReviews, cfg degCfg) (float64, int) {
-	var sum float64
-	matched := 0
-	contradicted := 0
-	for _, t := range e.Tags {
-		// Memo.Base degrades to (Phrase, conflict=false) for measures that
-		// are not contradiction-aware, which makes this single path score
-		// exactly as the plain-Phrase path would.
-		base, conflict := memo.Base(tag, t)
-		if base <= cfg.theta {
-			continue
-		}
-		if conflict {
-			contradicted++
-			continue
-		}
-		sum += base
-		matched++
-	}
-	if matched == 0 {
-		return 0, 0
-	}
-	weight := 1.0
-	if cfg.reviewWeight {
-		weight = math.Log(float64(e.ReviewCount) + 1)
-	}
-	deg := weight / float64(matched) * sum
-	if contradicted > 0 {
-		deg *= float64(matched) / float64(matched+contradicted)
-	}
-	if cfg.frequencyAware && e.ReviewCount > 0 {
-		// Mention-rate factor: a tag confirmed by most reviews is more
-		// certain than one confirmed once. The square root keeps Eq. 1's
-		// mean-similarity character dominant (see DESIGN.md §4 ablations).
-		rate := float64(matched) / float64(e.ReviewCount)
-		if rate > 1 {
-			rate = 1
-		}
-		deg *= math.Sqrt(rate)
-	}
-	cfg.matchedCtr.Add(int64(matched))
-	cfg.conflictCtr.Add(int64(contradicted))
-	return deg, matched
-}
+// --- read delegation --------------------------------------------------------
+//
+// Each method reads through the snapshot current at call time. Multi-probe
+// consumers (the Ranker, Save) should pin Current() once instead, so all
+// probes see one generation.
+
+// Has reports whether tag is an index key (§3.2's "t ∈ index.keys").
+func (ix *Index) Has(tag string) bool { return ix.Current().Has(tag) }
+
+// Tags returns the index keys in insertion order (a copy; the query path
+// should prefer EachTag, which does not allocate).
+func (ix *Index) Tags() []string { return ix.Current().Tags() }
+
+// EachTag calls f for every index key in insertion order, stopping early
+// when f returns false. The iteration is over one pinned snapshot, so f may
+// call back into the index freely (nothing is locked).
+func (ix *Index) EachTag(f func(tag string) bool) { ix.Current().EachTag(f) }
+
+// EachEntry calls f for every posting of an exact index tag in degree order,
+// stopping early when f returns false. Unlike Lookup it performs no copy.
+func (ix *Index) EachEntry(tag string, f func(Entry) bool) { ix.Current().EachEntry(tag, f) }
+
+// Len returns the number of indexed tags.
+func (ix *Index) Len() int { return ix.Current().Len() }
 
 // Lookup returns the posting list for an exact index tag (copy).
-func (ix *Index) Lookup(tag string) []Entry {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return append([]Entry(nil), ix.tags[tag]...)
-}
+func (ix *Index) Lookup(tag string) []Entry { return ix.Current().Lookup(tag) }
 
-// lookupSimilarLocked is LookupSimilar's body; ix.mu must be held (shared).
-func (ix *Index) lookupSimilarLocked(tag string, thetaFilter float64) []Entry {
-	acc := map[string]float64{}
-	for _, key := range ix.order {
-		s := ix.memo.Phrase(tag, key)
-		if s <= thetaFilter {
-			continue
-		}
-		for _, entry := range ix.tags[key] {
-			acc[entry.EntityID] += s * entry.Degree
-		}
-	}
-	entries := make([]Entry, 0, len(acc))
-	for id, deg := range acc {
-		entries = append(entries, Entry{EntityID: id, Degree: deg})
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Degree != entries[j].Degree {
-			return entries[i].Degree > entries[j].Degree
-		}
-		return entries[i].EntityID < entries[j].EntityID
-	})
-	return entries
-}
-
-// LookupSimilar answers an unknown tag per §3.2: the union of the posting
-// lists of every index tag whose similarity to the query tag exceeds
-// θ_filter, with degrees multiplied by that similarity and summed across
-// contributing tags (the S_t2 construction).
+// LookupSimilar answers an unknown tag per §3.2; see Snapshot.LookupSimilar.
 func (ix *Index) LookupSimilar(tag string, thetaFilter float64) []Entry {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.lookupSimilarLocked(tag, thetaFilter)
+	return ix.Current().LookupSimilar(tag, thetaFilter)
 }
 
 // Resolve implements the probing rule of Algorithm 1 lines 7–10: exact hit
 // when the tag is indexed, otherwise the similar-tag union.
 func (ix *Index) Resolve(tag string, thetaFilter float64) []Entry {
-	var t0 time.Time
-	if ix.o != nil {
-		t0 = time.Now()
-	}
-	ix.mu.RLock()
-	var out []Entry
-	_, exact := ix.tags[tag]
-	if exact {
-		out = append([]Entry(nil), ix.tags[tag]...)
-	} else {
-		out = ix.lookupSimilarLocked(tag, thetaFilter)
-	}
-	ix.mu.RUnlock()
-	if ix.o != nil {
-		ix.resolveHist.Observe(time.Since(t0))
-		if exact {
-			ix.exactCtr.Inc()
-		} else {
-			ix.similarCtr.Inc()
-		}
-	}
-	return out
+	return ix.Current().Resolve(tag, thetaFilter)
 }
 
-// ResolveEach is the copy-free Resolve for the query hot path: exact hits
-// iterate the posting list in place; only the similar-tag union (which must
-// aggregate across tags) materializes a slice. f must not call back into the
-// index (the lock is held).
+// ResolveEach is the copy-free Resolve for the query hot path; see
+// Snapshot.ResolveEach.
 func (ix *Index) ResolveEach(tag string, thetaFilter float64, f func(Entry) bool) {
-	var t0 time.Time
-	if ix.o != nil {
-		t0 = time.Now()
-	}
-	ix.mu.RLock()
-	entries, exact := ix.tags[tag]
-	if exact {
-		for _, e := range entries {
-			if !f(e) {
-				break
-			}
-		}
-	} else {
-		for _, e := range ix.lookupSimilarLocked(tag, thetaFilter) {
-			if !f(e) {
-				break
-			}
-		}
-	}
-	ix.mu.RUnlock()
-	if ix.o != nil {
-		ix.resolveHist.Observe(time.Since(t0))
-		if exact {
-			ix.exactCtr.Inc()
-		} else {
-			ix.similarCtr.Inc()
-		}
-	}
+	ix.Current().ResolveEach(tag, thetaFilter, f)
 }
 
-// History is the user tag history of §3.1: unknown tags extracted from user
-// utterances queue here until the next indexing round. It is safe for
-// concurrent use — queries on parallel conversations append to one shared
-// history.
-type History struct {
-	mu      sync.Mutex
-	pending []string
-	seen    map[string]bool
-}
-
-// NewHistory returns an empty history.
-func NewHistory() *History { return &History{seen: map[string]bool{}} }
-
-// Add queues a tag once; duplicates are ignored.
-func (h *History) Add(tag string) {
-	if tag == "" {
-		return
-	}
-	h.mu.Lock()
-	if !h.seen[tag] {
-		h.seen[tag] = true
-		h.pending = append(h.pending, tag)
-	}
-	h.mu.Unlock()
-}
-
-// Pending returns queued tags in arrival order (a defensive copy; the query
-// path should prefer Each, which does not allocate).
-func (h *History) Pending() []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return append([]string(nil), h.pending...)
-}
-
-// Each calls f for every queued tag in arrival order without copying,
-// stopping early when f returns false. f must not call back into the
-// history (the lock is held).
-func (h *History) Each(f func(tag string) bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for _, t := range h.pending {
-		if !f(t) {
-			return
-		}
-	}
-}
-
-// Drain returns and clears the queue (the seen-set persists so a drained
-// tag is not re-queued).
-func (h *History) Drain() []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	out := h.pending
-	h.pending = nil
-	return out
-}
-
-// Len returns the number of queued tags.
-func (h *History) Len() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.pending)
+// ResolveEachCtx is ResolveEach with cooperative cancellation; see
+// Snapshot.ResolveEachCtx.
+func (ix *Index) ResolveEachCtx(ctx context.Context, tag string, thetaFilter float64, f func(Entry) bool) error {
+	return ix.Current().ResolveEachCtx(ctx, tag, thetaFilter, f)
 }

@@ -8,21 +8,22 @@ import (
 	"math"
 )
 
-// Snapshot is the serializable form of an index: tag → posting list. The
-// similarity measure and thresholds are configuration, not state, so they
-// are not persisted; load into an Index constructed with the same measure.
-type Snapshot struct {
+// snapshotFile is the serializable form of an index generation: tag →
+// posting list. The similarity measure and thresholds are configuration, not
+// state, so they are not persisted; load into an Index constructed with the
+// same measure.
+type snapshotFile struct {
 	// Version guards the wire format.
 	Version int `json:"version"`
 	// ThetaIndex records the threshold the postings were computed with
 	// (informational; loading does not override the target's threshold).
 	ThetaIndex float64 `json:"theta_index"`
 	// Tags preserves insertion order.
-	Tags []TagPostings `json:"tags"`
+	Tags []tagPostings `json:"tags"`
 }
 
-// TagPostings is one tag's posting list.
-type TagPostings struct {
+// tagPostings is one tag's posting list on the wire.
+type tagPostings struct {
 	Tag     string  `json:"tag"`
 	Entries []Entry `json:"entries"`
 }
@@ -30,44 +31,47 @@ type TagPostings struct {
 // snapshotVersion is the current wire format version.
 const snapshotVersion = 1
 
-// Save writes the index as JSON. It holds the shared lock for the duration,
-// so a snapshot taken during concurrent queries is consistent.
-func (ix *Index) Save(w io.Writer) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	snap := Snapshot{Version: snapshotVersion, ThetaIndex: ix.thetaIndex}
-	for _, tag := range ix.order {
-		snap.Tags = append(snap.Tags, TagPostings{Tag: tag, Entries: ix.tags[tag]})
+// Save writes the snapshot as JSON. A Snapshot is immutable, so the output
+// is one consistent generation regardless of concurrent rebuilds.
+func (s *Snapshot) Save(w io.Writer) error {
+	file := snapshotFile{Version: snapshotVersion, ThetaIndex: s.thetaIndex}
+	for _, tag := range s.order {
+		file.Tags = append(file.Tags, tagPostings{Tag: tag, Entries: s.tags[tag]})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(snap)
+	return enc.Encode(file)
 }
 
-// Load replaces the index's postings with a previously saved snapshot.
-// The receiver keeps its similarity measure and thresholds.
+// Save writes the currently published generation as JSON. The generation is
+// pinned once, so a snapshot taken during concurrent rebuilds is consistent.
+func (ix *Index) Save(w io.Writer) error { return ix.Current().Save(w) }
+
+// Load replaces the index's postings with a previously saved snapshot,
+// published atomically: readers in flight keep their pinned generation. The
+// receiver keeps its similarity measure and thresholds.
 //
-// Load validates the snapshot fully before touching the index: truncated or
-// corrupt input — trailing garbage, an unknown version, duplicate tags or
-// entities, empty keys, non-finite or negative degrees, postings out of
-// Save's (degree desc, ID asc) order — is rejected with a wrapped error and
-// leaves the index unchanged. It never panics on adversarial input (the
+// Load validates the snapshot fully before publishing: truncated or corrupt
+// input — trailing garbage, an unknown version, duplicate tags or entities,
+// empty keys, non-finite or negative degrees, postings out of Save's
+// (degree desc, ID asc) order — is rejected with a wrapped error and leaves
+// the index unchanged. It never panics on adversarial input (the
 // FuzzSnapshotDecode target enforces this).
 func (ix *Index) Load(r io.Reader) error {
 	dec := json.NewDecoder(r)
-	var snap Snapshot
-	if err := dec.Decode(&snap); err != nil {
+	var file snapshotFile
+	if err := dec.Decode(&file); err != nil {
 		return fmt.Errorf("index: decoding snapshot: %w", err)
 	}
 	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
 		return fmt.Errorf("index: corrupt snapshot: trailing data after snapshot value")
 	}
-	if snap.Version != snapshotVersion {
-		return fmt.Errorf("index: unsupported snapshot version %d", snap.Version)
+	if file.Version != snapshotVersion {
+		return fmt.Errorf("index: unsupported snapshot version %d", file.Version)
 	}
-	tags := make(map[string][]Entry, len(snap.Tags))
-	order := make([]string, 0, len(snap.Tags))
-	for _, tp := range snap.Tags {
+	tags := make(map[string][]Entry, len(file.Tags))
+	order := make([]string, 0, len(file.Tags))
+	for _, tp := range file.Tags {
 		if tp.Tag == "" {
 			return fmt.Errorf("index: corrupt snapshot: empty tag key")
 		}
@@ -80,10 +84,9 @@ func (ix *Index) Load(r io.Reader) error {
 		tags[tp.Tag] = tp.Entries
 		order = append(order, tp.Tag)
 	}
-	ix.mu.Lock()
-	ix.tags = tags
-	ix.order = order
-	ix.mu.Unlock()
+	ix.publishMu.Lock()
+	ix.publish(ix.snap.Load().withContents(tags, order))
+	ix.publishMu.Unlock()
 	return nil
 }
 

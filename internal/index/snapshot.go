@@ -1,0 +1,278 @@
+package index
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"saccs/internal/obs"
+	"saccs/internal/sim"
+)
+
+// Snapshot is one immutable, published generation of the index: the tag →
+// posting-list map frozen at publication time. Every method is a pure read —
+// the struct has no mutex field at all, so queries that pin a snapshot run
+// completely lock-free and are never blocked (or affected) by a concurrent
+// rebuild. The only locking reachable from a Snapshot is inside the shared
+// sim.Memo's shards, and only on the similarity-fallback path; exact-hit
+// resolution touches no lock whatsoever.
+//
+// Obtain a snapshot with Index.Current, use it for the whole request, and
+// drop it; the garbage collector reclaims superseded generations once the
+// last pinned reader finishes. The memory cost of a rebuild is therefore at
+// most two live generations (plus shared posting slices: a publication
+// copies the map and key order but reuses every unchanged posting list).
+type Snapshot struct {
+	// memo is the shared similarity cache (internally sharded, safe for
+	// concurrent use); the similarity fallback scores query tags against
+	// index keys through it.
+	memo *sim.Memo
+	// thetaIndex records the threshold the postings were computed with
+	// (persisted informationally by Save).
+	thetaIndex float64
+	// tags maps an index tag to its posting list, sorted by degree desc.
+	// Both map and slices are frozen at publication.
+	tags map[string][]Entry
+	// order preserves insertion order for deterministic iteration.
+	order []string
+
+	// Read-side observability (nil when disabled). The instruments are
+	// atomic; recording to them mutates no snapshot state.
+	resolveHist *obs.Histogram
+	exactCtr    *obs.Counter
+	similarCtr  *obs.Counter
+}
+
+// simScanCheckEvery is how many index keys the similarity fallback scans
+// between context polls: frequent enough that an expired deadline interrupts
+// a long scan within a few key comparisons, rare enough to stay off the
+// per-key fast path.
+const simScanCheckEvery = 32
+
+// Has reports whether tag is an index key (§3.2's "t ∈ index.keys").
+func (s *Snapshot) Has(tag string) bool {
+	_, ok := s.tags[tag]
+	return ok
+}
+
+// Len returns the number of indexed tags.
+func (s *Snapshot) Len() int { return len(s.order) }
+
+// Tags returns the index keys in insertion order (a copy; the query path
+// should prefer EachTag, which does not allocate).
+func (s *Snapshot) Tags() []string {
+	return append([]string(nil), s.order...)
+}
+
+// EachTag calls f for every index key in insertion order, stopping early
+// when f returns false.
+func (s *Snapshot) EachTag(f func(tag string) bool) {
+	for _, t := range s.order {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// EachEntry calls f for every posting of an exact index tag in degree order,
+// stopping early when f returns false. Unlike Lookup it performs no copy.
+func (s *Snapshot) EachEntry(tag string, f func(Entry) bool) {
+	for _, e := range s.tags[tag] {
+		if !f(e) {
+			return
+		}
+	}
+}
+
+// Lookup returns the posting list for an exact index tag (copy).
+func (s *Snapshot) Lookup(tag string) []Entry {
+	return append([]Entry(nil), s.tags[tag]...)
+}
+
+// LookupSimilar answers an unknown tag per §3.2: the union of the posting
+// lists of every index tag whose similarity to the query tag exceeds
+// θ_filter, with degrees multiplied by that similarity and summed across
+// contributing tags (the S_t2 construction).
+func (s *Snapshot) LookupSimilar(tag string, thetaFilter float64) []Entry {
+	out, _ := s.lookupSimilar(context.Background(), tag, thetaFilter)
+	return out
+}
+
+// LookupSimilarCtx is LookupSimilar with cooperative cancellation: the
+// context is polled every simScanCheckEvery index keys, and a cancelled or
+// expired context aborts the scan with ctx's error and no partial results.
+func (s *Snapshot) LookupSimilarCtx(ctx context.Context, tag string, thetaFilter float64) ([]Entry, error) {
+	return s.lookupSimilar(ctx, tag, thetaFilter)
+}
+
+func (s *Snapshot) lookupSimilar(ctx context.Context, tag string, thetaFilter float64) ([]Entry, error) {
+	acc := map[string]float64{}
+	for i, key := range s.order {
+		if i%simScanCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		sc := s.memo.Phrase(tag, key)
+		if sc <= thetaFilter {
+			continue
+		}
+		for _, entry := range s.tags[key] {
+			acc[entry.EntityID] += sc * entry.Degree
+		}
+	}
+	entries := make([]Entry, 0, len(acc))
+	for id, deg := range acc {
+		entries = append(entries, Entry{EntityID: id, Degree: deg})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Degree != entries[j].Degree {
+			return entries[i].Degree > entries[j].Degree
+		}
+		return entries[i].EntityID < entries[j].EntityID
+	})
+	return entries, nil
+}
+
+// Resolve implements the probing rule of Algorithm 1 lines 7–10: exact hit
+// when the tag is indexed, otherwise the similar-tag union.
+func (s *Snapshot) Resolve(tag string, thetaFilter float64) []Entry {
+	var t0 time.Time
+	if s.resolveHist != nil {
+		t0 = time.Now()
+	}
+	var out []Entry
+	entries, exact := s.tags[tag]
+	if exact {
+		out = append([]Entry(nil), entries...)
+	} else {
+		out, _ = s.lookupSimilar(context.Background(), tag, thetaFilter)
+	}
+	if s.resolveHist != nil {
+		s.resolveHist.Observe(time.Since(t0))
+		if exact {
+			s.exactCtr.Inc()
+		} else {
+			s.similarCtr.Inc()
+		}
+	}
+	return out
+}
+
+// ResolveEach is the copy-free Resolve for the query hot path: exact hits
+// iterate the posting list in place; only the similar-tag union (which must
+// aggregate across tags) materializes a slice. Unlike the pre-snapshot
+// index, no lock is held during f — the callback may be arbitrarily slow
+// without stalling writers or other readers.
+func (s *Snapshot) ResolveEach(tag string, thetaFilter float64, f func(Entry) bool) {
+	_ = s.ResolveEachCtx(context.Background(), tag, thetaFilter, f)
+}
+
+// ResolveEachCtx is ResolveEach with cooperative cancellation: the context
+// is polled before the probe and periodically inside the similarity scan. On
+// a cancelled or expired context it returns ctx's error without invoking f
+// for any further entry.
+func (s *Snapshot) ResolveEachCtx(ctx context.Context, tag string, thetaFilter float64, f func(Entry) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var t0 time.Time
+	if s.resolveHist != nil {
+		t0 = time.Now()
+	}
+	entries, exact := s.tags[tag]
+	if exact {
+		for _, e := range entries {
+			if !f(e) {
+				break
+			}
+		}
+	} else {
+		union, err := s.lookupSimilar(ctx, tag, thetaFilter)
+		if err != nil {
+			return err
+		}
+		for _, e := range union {
+			if !f(e) {
+				break
+			}
+		}
+	}
+	if s.resolveHist != nil {
+		s.resolveHist.Observe(time.Since(t0))
+		if exact {
+			s.exactCtr.Inc()
+		} else {
+			s.similarCtr.Inc()
+		}
+	}
+	return nil
+}
+
+// ResolveDynamic is Resolve with a per-tag dynamic θ_filter (§7): unknown
+// tags are answered at DynamicTheta(baseTheta, tag) instead of a fixed
+// threshold.
+func (s *Snapshot) ResolveDynamic(tag string, baseTheta float64) []Entry {
+	if entries, ok := s.tags[tag]; ok {
+		return append([]Entry(nil), entries...)
+	}
+	out, _ := s.lookupSimilar(context.Background(), tag, DynamicTheta(baseTheta, tag))
+	return out
+}
+
+// with derives the next generation: a copy of s with each tags[i] bound to
+// postings[i] (appended to the key order when new). Shared posting lists are
+// reused, not copied — only the map and key order are rebuilt.
+func (s *Snapshot) with(tags []string, postings [][]Entry) *Snapshot {
+	next := &Snapshot{
+		memo:        s.memo,
+		thetaIndex:  s.thetaIndex,
+		tags:        make(map[string][]Entry, len(s.tags)+len(tags)),
+		order:       make([]string, 0, len(s.order)+len(tags)),
+		resolveHist: s.resolveHist,
+		exactCtr:    s.exactCtr,
+		similarCtr:  s.similarCtr,
+	}
+	for _, t := range s.order {
+		next.tags[t] = s.tags[t]
+		next.order = append(next.order, t)
+	}
+	for i, t := range tags {
+		if _, exists := next.tags[t]; !exists {
+			next.order = append(next.order, t)
+		}
+		next.tags[t] = postings[i]
+	}
+	return next
+}
+
+// withContents derives a generation whose contents are replaced wholesale
+// (the Load path), keeping the memo, threshold, and instruments.
+func (s *Snapshot) withContents(tags map[string][]Entry, order []string) *Snapshot {
+	return &Snapshot{
+		memo:        s.memo,
+		thetaIndex:  s.thetaIndex,
+		tags:        tags,
+		order:       order,
+		resolveHist: s.resolveHist,
+		exactCtr:    s.exactCtr,
+		similarCtr:  s.similarCtr,
+	}
+}
+
+// withObserver derives a generation with re-wired read instruments (the
+// SetObserver path), sharing the contents.
+func (s *Snapshot) withObserver(o *obs.Observer) *Snapshot {
+	next := &Snapshot{
+		memo:       s.memo,
+		thetaIndex: s.thetaIndex,
+		tags:       s.tags,
+		order:      s.order,
+	}
+	if o != nil {
+		next.resolveHist = o.Histogram("index.resolve")
+		next.exactCtr = o.Counter("index.resolve.exact.total")
+		next.similarCtr = o.Counter("index.resolve.similar.total")
+	}
+	return next
+}

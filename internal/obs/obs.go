@@ -11,6 +11,8 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 )
@@ -108,4 +110,37 @@ func (st Stage) End() {
 	d := time.Since(st.start)
 	st.span.End()
 	st.hist.Observe(d)
+}
+
+// EndErr is End with an outcome: the stage's span is annotated with the
+// status derived from err (see StatusOf) before it closes. Use it on
+// context-aware stages so cancelled and deadline-expired work is visible in
+// traces.
+func (st Stage) EndErr(err error) {
+	st.span.SetStatus(err)
+	st.End()
+}
+
+// Span status values attached by SetStatus under the "status" attribute.
+const (
+	StatusOK        = "ok"
+	StatusCancelled = "cancelled"
+	StatusDeadline  = "deadline"
+	StatusError     = "error"
+)
+
+// StatusOf classifies an error for span annotation: nil is "ok", a context
+// cancellation "cancelled", an expired deadline "deadline", anything else
+// "error". Wrapped context errors (errors.Is) classify like the originals.
+func StatusOf(err error) string {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, context.Canceled):
+		return StatusCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusDeadline
+	default:
+		return StatusError
+	}
 }

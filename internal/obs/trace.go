@@ -19,8 +19,8 @@ type Attr struct {
 // SpanRecord is the completed form of a span, as delivered to sinks.
 type SpanRecord struct {
 	// ID is unique per tracer; Parent is 0 for root spans.
-	ID     uint64 `json:"id"`
-	Parent uint64 `json:"parent,omitempty"`
+	ID     uint64    `json:"id"`
+	Parent uint64    `json:"parent,omitempty"`
 	Name   string    `json:"name"`
 	Start  time.Time `json:"start"`
 	// Duration is the span's wall-clock length in nanoseconds.
@@ -85,6 +85,15 @@ func (s *Span) Set(key string, value any) *Span {
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
 	return s
+}
+
+// SetStatus annotates the span with a "status" attribute derived from err
+// (StatusOf) and returns the span for chaining. Nil-safe.
+func (s *Span) SetStatus(err error) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Set("status", StatusOf(err))
 }
 
 // End closes the span, delivers it to the sink, and returns its duration.

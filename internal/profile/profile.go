@@ -100,11 +100,19 @@ func (p *Profile) Preferences() []string {
 	return keys
 }
 
+// TagResolver is the index read surface personalization needs. Both
+// *index.Index and a pinned *index.Snapshot satisfy it; pass a snapshot when
+// re-scoring inside a request so the boost reads the same index generation
+// as the ranking it adjusts.
+type TagResolver interface {
+	Resolve(tag string, thetaFilter float64) []index.Entry
+}
+
 // Personalize re-scores a ranked list: each entity's score is blended with
 // its degrees of truth on the user's top standing preferences, weighted by
 // blend ∈ [0,1] (0 = no personalization). The ranked order of the original
 // query's scores is preserved under ties.
-func (p *Profile) Personalize(ix *index.Index, ranked []search.Scored, blend float64, topPrefs int) []search.Scored {
+func (p *Profile) Personalize(ix TagResolver, ranked []search.Scored, blend float64, topPrefs int) []search.Scored {
 	if blend <= 0 || len(p.weights) == 0 {
 		return ranked
 	}

@@ -1,0 +1,82 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// countdownCtx reports no error for the first `after` Err() polls, then the
+// configured error forever. RankCtx and the snapshot probes cancel purely by
+// polling Err(), so the countdown deterministically places an expiry at the
+// Nth poll without any real clock.
+type countdownCtx struct {
+	context.Context
+	mu    sync.Mutex
+	after int
+	err   error
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.after > 0 {
+		c.after--
+		return nil
+	}
+	return c.err
+}
+
+func TestRankCtxCancelledReturnsNoPartialResults(t *testing.T) {
+	r := &Ranker{Index: buildIndex().Current(), ThetaFilter: 0.5}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := r.RankCtx(ctx, nil, []string{"vue", "hut", "anchovy"}, []string{"good food"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error: %v", err)
+	}
+	if out != nil {
+		t.Fatalf("partial results on cancellation: %v", out)
+	}
+}
+
+// TestRankCtxDeadlineObservedMidRank sweeps the expiry across every poll
+// point of a multi-tag ranking (n = 0, 1, 2, …): wherever the deadline
+// lands, the call must fail with the context error and nil results; once n
+// exceeds the total poll count, the result must equal the uncancelled
+// baseline exactly.
+func TestRankCtxDeadlineObservedMidRank(t *testing.T) {
+	ix := buildIndex().Current()
+	api := []string{"vue", "hut", "anchovy"}
+	// "quiet atmosphere" misses the index, forcing a similarity scan probe.
+	tags := []string{"good food", "quiet atmosphere", "creative cooking"}
+	mk := func() *Ranker { return &Ranker{Index: ix, ThetaFilter: 0.45} }
+	want, err := mk().RankCtx(context.Background(), nil, api, tags)
+	if err != nil || len(want) == 0 {
+		t.Fatalf("baseline: %v %v", want, err)
+	}
+	const maxPolls = 1000
+	completed := false
+	for n := 0; n < maxPolls; n++ {
+		ctx := &countdownCtx{Context: context.Background(), after: n, err: context.DeadlineExceeded}
+		got, err := mk().RankCtx(ctx, nil, api, tags)
+		if err == nil {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d: result diverged from baseline: %v != %v", n, got, want)
+			}
+			completed = true
+			break
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("n=%d: wrong error type: %v", n, err)
+		}
+		if got != nil {
+			t.Fatalf("n=%d: partial results alongside error: %v", n, got)
+		}
+	}
+	if !completed {
+		t.Fatalf("ranking still cancelled after %d polls", maxPolls)
+	}
+}

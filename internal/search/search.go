@@ -6,6 +6,7 @@
 package search
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -106,9 +107,19 @@ type Scored struct {
 	Score    float64
 }
 
-// Ranker implements Algorithm 1 over a subjective tag index.
+// Resolver is the read surface Algorithm 1 needs from the subjective tag
+// index: the copy-free, cancellable probe. Both *index.Index (resolving
+// against whatever generation is current at each probe) and *index.Snapshot
+// (a view pinned to one immutable generation) satisfy it; request-scoped
+// rankers should be handed a pinned snapshot so every tag of the query reads
+// one consistent, lock-free index state.
+type Resolver interface {
+	ResolveEachCtx(ctx context.Context, tag string, thetaFilter float64, f func(index.Entry) bool) error
+}
+
+// Ranker implements Algorithm 1 over a subjective tag index view.
 type Ranker struct {
-	Index *index.Index
+	Index Resolver
 	// ThetaFilter is the θ_filter similarity threshold of Algorithm 1.
 	ThetaFilter float64
 	// Agg is the cross-tag aggregation (§3.3; mean works best).
@@ -129,6 +140,21 @@ func (r *Ranker) Rank(apiResults []string, tags []string) []Scored {
 // index probe becomes an "index.resolve" child annotated with the tag and
 // its posting count. A nil parent costs nothing.
 func (r *Ranker) RankTraced(parent *obs.Span, apiResults []string, tags []string) []Scored {
+	// context.Background is never cancelled, so the error path is dead.
+	out, _ := r.RankCtx(context.Background(), parent, apiResults, tags)
+	return out
+}
+
+// RankCtx is RankTraced with cooperative cancellation: the context is polled
+// before each tag's index probe and periodically inside the probe's
+// similarity scan. A cancelled or expired context aborts ranking with ctx's
+// error and no partial results — the deadline is observed mid-rank rather
+// than after the full scan. The failed probe's span carries a
+// cancelled/deadline status.
+func (r *Ranker) RankCtx(ctx context.Context, parent *obs.Span, apiResults []string, tags []string) ([]Scored, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	inAPI := make(map[string]bool, len(apiResults))
 	for _, id := range apiResults {
 		inAPI[id] = true
@@ -138,23 +164,27 @@ func (r *Ranker) RankTraced(parent *obs.Span, apiResults []string, tags []string
 		for _, id := range apiResults {
 			out = append(out, Scored{EntityID: id})
 		}
-		return out
+		return out, nil
 	}
 
-	// S_t per tag, restricted to S_api. ResolveEach iterates exact posting
+	// S_t per tag, restricted to S_api. ResolveEachCtx iterates exact posting
 	// lists in place instead of copying them per query.
 	perTag := make([]map[string]float64, len(tags))
 	for i, tag := range tags {
 		sp := parent.Child("index.resolve").Set("tag", tag)
 		m := map[string]float64{}
 		n := 0
-		r.Index.ResolveEach(tag, r.ThetaFilter, func(entry index.Entry) bool {
+		err := r.Index.ResolveEachCtx(ctx, tag, r.ThetaFilter, func(entry index.Entry) bool {
 			n++
 			if inAPI[entry.EntityID] {
 				m[entry.EntityID] = entry.Degree
 			}
 			return true
 		})
+		if err != nil {
+			sp.SetStatus(err).End()
+			return nil, err
+		}
 		sp.Set("postings", n).Set("in_api", len(m)).End()
 		perTag[i] = m
 	}
@@ -198,7 +228,7 @@ func (r *Ranker) RankTraced(parent *obs.Span, apiResults []string, tags []string
 	sort.Slice(out[tail:], func(i, j int) bool {
 		return out[tail+i].EntityID < out[tail+j].EntityID
 	})
-	return out
+	return out, nil
 }
 
 // aggregate computes the §3.3 cross-tag score for one entity. Missing tags

@@ -31,8 +31,12 @@ func Words(s string) []string {
 		case unicode.IsSpace(r):
 			flush()
 		default:
+			// Cased symbols (e.g. circled letters, category So) land here
+			// because they are not unicode letters, yet still have lowercase
+			// mappings — fold them so every emitted rune is a lowercase fixed
+			// point. For ordinary punctuation ToLower is the identity.
 			flush()
-			toks = append(toks, string(r))
+			toks = append(toks, string(unicode.ToLower(r)))
 		}
 	}
 	flush()

@@ -18,6 +18,7 @@
 package saccs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -72,6 +73,12 @@ type Config struct {
 	// Epsilon is the adversarial perturbation radius (DefaultConfig: 0.2).
 	// 0 trains on unperturbed embeddings even when Adversarial is set.
 	Epsilon float64
+	// HistoryLimit bounds the user tag history (the queue of unknown tags
+	// awaiting the next Reindex round) to the N most recently seen tags,
+	// evicting oldest-first — without it the history's memory grows without
+	// limit over a long conversational session (DefaultConfig: 4096;
+	// 0 = unbounded).
+	HistoryLimit int
 }
 
 // DefaultConfig returns the recommended configuration.
@@ -84,8 +91,46 @@ func DefaultConfig() Config {
 		TopK:          10,
 		Adversarial:   true,
 		Epsilon:       0.2,
+		HistoryLimit:  4096,
 	}
 }
+
+// QueryOptions overrides per-request query knobs. The zero value inherits
+// everything from the client's Config; a non-nil field overrides just that
+// knob for the one request, so callers never mutate the shared Config while
+// queries are in flight.
+type QueryOptions struct {
+	// TopK, when non-nil, truncates this request's answer (0 = all).
+	TopK *int
+	// ThetaFilter, when non-nil, overrides the Algorithm 1 unknown-tag
+	// similarity threshold for this request (0 unions every indexed tag).
+	ThetaFilter *float64
+}
+
+// Int returns a pointer to v — a convenience for QueryOptions literals.
+func Int(v int) *int { return &v }
+
+// Float returns a pointer to v — a convenience for QueryOptions literals.
+func Float(v float64) *float64 { return &v }
+
+// StageError is the typed failure of a context-aware Client call: the
+// pipeline stage that observed the cancellation or expired deadline plus the
+// underlying context error. errors.Is sees through it to context.Canceled /
+// context.DeadlineExceeded. A call returning a StageError produced no
+// partial results and published no partial state.
+type StageError struct {
+	// Stage names the pipeline stage that observed the failure: "parse",
+	// "extract", "objective", "rank", "index", or "reindex".
+	Stage string
+	// Err is the context's error (or a wrapper around it).
+	Err error
+}
+
+// Error formats the failure as "saccs: <stage>: <cause>".
+func (e *StageError) Error() string { return "saccs: " + e.Stage + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying context error to errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
 
 // Entity is a business (or any reviewable item) a Client can index.
 type Entity struct {
@@ -123,28 +168,44 @@ type Response struct {
 
 // Client is a trained SACCS pipeline plus a subjective tag index.
 //
-// Concurrency: Query, QueryTags, ExtractTags, TagLabels, Reindex, SaveIndex
-// and the read-only accessors may be called from any number of goroutines.
-// The extraction pipeline (MiniBERT forward pass, BiLSTM-CRF decode) is
-// reentrant — per-call scratch buffers come from a sync.Pool — and the index
-// guards itself with a read/write lock, so queries overlap with adaptive
-// Reindex rounds (Fig. 1) without serializing. IndexEntities and LoadIndex
-// replace the index wholesale and must not run concurrently with anything
-// else on the client.
+// Concurrency: every exported method is safe from any number of goroutines.
+// The query path is lock-free: each request pins the current immutable index
+// snapshot once and reads only that generation end to end, so a query never
+// mixes postings from before and after a rebuild and never blocks on a
+// writer. Writers — IndexEntities, Reindex, LoadIndex — prepare their state
+// off to the side and publish it with one atomic pointer swap; queries
+// already in flight keep the generation they pinned, and the next request
+// sees the new one. The extraction pipeline (MiniBERT forward pass,
+// BiLSTM-CRF decode) is reentrant — per-call scratch buffers come from a
+// sync.Pool. The cost of the design is memory, not latency: while a rebuild
+// overlaps queries, up to two index generations are live at once.
 type Client struct {
 	cfg     Config
 	domain  *lexicon.Domain
 	extr    *core.Extractor
 	measure sim.Measure
-	idx     *index.Index
-	history *index.History
+
+	// w is the client's current world — entities, reviews, index, and tag
+	// history published as one unit, so a query pinning it never observes
+	// entities from one IndexEntities call and postings from another.
+	// Readers only Load; writeMu serializes the writers that swap it.
+	w       atomic.Pointer[world]
+	writeMu sync.Mutex
 
 	// o is the client's always-on metrics registry plus an optional tracer
 	// attached via SetTraceSink.
 	o *obs.Observer
+}
 
+// world is one generation of the client's indexed state. The maps and
+// slices are frozen once published; idx and history mutate safely behind
+// their own internal synchronization (idx republishes snapshots atomically,
+// history is a locked queue).
+type world struct {
 	entities map[string]Entity
 	reviews  []index.EntityReviews
+	idx      *index.Index
+	history  *index.History
 }
 
 // New trains a SACCS extraction pipeline (MiniBERT masked-language-model
@@ -189,7 +250,9 @@ func New(cfg Config) (*Client, error) {
 	measure := sim.NewConceptual()
 	idx := index.New(measure, cfg.ThetaIndex)
 	idx.SetObserver(o)
-	return &Client{
+	hist := index.NewHistory()
+	hist.SetCap(cfg.HistoryLimit)
+	c := &Client{
 		cfg:    cfg,
 		domain: domain,
 		extr: &core.Extractor{
@@ -197,12 +260,11 @@ func New(cfg Config) (*Client, error) {
 			Pairer: pairing.Tree{Lex: parse.DomainLexicon(domain), FromOpinions: true},
 			Obs:    o,
 		},
-		measure:  measure,
-		idx:      idx,
-		history:  index.NewHistory(),
-		o:        o,
-		entities: map[string]Entity{},
-	}, nil
+		measure: measure,
+		o:       o,
+	}
+	c.w.Store(&world{entities: map[string]Entity{}, idx: idx, history: hist})
+	return c, nil
 }
 
 func trainTokens(d *datasets.Dataset) [][]string {
@@ -235,17 +297,27 @@ func (c *Client) CanonicalTags() []string {
 // across GOMAXPROCS goroutines (the pipeline is reentrant) and the build
 // fans out per tag; results are merged in input order, so the index is
 // identical for any degree of parallelism. Calling IndexEntities again
-// replaces the previous index; it must not run concurrently with queries.
+// builds a complete replacement world off to the side and publishes it
+// atomically — queries already in flight finish against the old index, the
+// next query sees the new one.
 func (c *Client) IndexEntities(entities []Entity, tags []string) error {
-	c.entities = map[string]Entity{}
+	return c.IndexEntitiesCtx(context.Background(), entities, tags)
+}
+
+// IndexEntitiesCtx is IndexEntities with cooperative cancellation: the
+// context is polled inside the extraction worker loop and the index build.
+// On cancellation it returns a *StageError wrapping ctx's error and
+// publishes nothing — the client keeps serving its previous index.
+func (c *Client) IndexEntitiesCtx(ctx context.Context, entities []Entity, tags []string) error {
+	ents := make(map[string]Entity, len(entities))
 	for _, e := range entities {
 		if e.ID == "" {
 			return fmt.Errorf("saccs: entity with empty ID")
 		}
-		if _, dup := c.entities[e.ID]; dup {
+		if _, dup := ents[e.ID]; dup {
 			return fmt.Errorf("saccs: duplicate entity ID %q", e.ID)
 		}
-		c.entities[e.ID] = e
+		ents[e.ID] = e
 	}
 	reviews := make([]index.EntityReviews, len(entities))
 	extract := func(i int) {
@@ -256,22 +328,25 @@ func (c *Client) IndexEntities(entities []Entity, tags []string) error {
 		}
 		reviews[i] = er
 	}
-	w := runtime.GOMAXPROCS(0)
-	if w > len(entities) {
-		w = len(entities)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(entities) {
+		workers = len(entities)
 	}
-	if w <= 1 {
+	if workers <= 1 {
 		for i := range entities {
+			if ctx.Err() != nil {
+				break
+			}
 			extract(i)
 		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
-		for g := 0; g < w; g++ {
+		for g := 0; g < workers; g++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= len(entities) {
 						return
@@ -282,31 +357,57 @@ func (c *Client) IndexEntities(entities []Entity, tags []string) error {
 		}
 		wg.Wait()
 	}
-	c.reviews = reviews
-	c.idx = index.New(c.measure, c.cfg.ThetaIndex)
-	c.idx.SetObserver(c.o)
-	c.history = index.NewHistory()
+	if err := ctx.Err(); err != nil {
+		return &StageError{Stage: "extract", Err: err}
+	}
+	idx := index.New(c.measure, c.cfg.ThetaIndex)
+	idx.SetObserver(c.o)
 	low := make([]string, len(tags))
 	for i, t := range tags {
 		low[i] = strings.ToLower(t)
 	}
-	c.idx.Build(low, c.reviews)
+	if err := idx.BuildCtx(ctx, low, reviews); err != nil {
+		return &StageError{Stage: "index", Err: err}
+	}
+	hist := index.NewHistory()
+	hist.SetCap(c.cfg.HistoryLimit)
+	c.writeMu.Lock()
+	c.w.Store(&world{entities: ents, reviews: reviews, idx: idx, history: hist})
+	c.writeMu.Unlock()
 	return nil
 }
 
 // IndexedTags returns the current index keys.
-func (c *Client) IndexedTags() []string { return c.idx.Tags() }
+func (c *Client) IndexedTags() []string { return c.w.Load().idx.Tags() }
 
 // Reindex drains the user tag history (unknown tags seen in queries) into
 // the index — the adaptive round of the paper's Fig. 1 — and returns the
-// tags added. It fans out across the index's worker pool and is safe to run
-// while queries are in flight.
+// tags added. It fans out across the index's worker pool; queries in flight
+// keep their pinned snapshot and later queries see the extended index.
 func (c *Client) Reindex() []string {
-	pend := c.history.Drain()
-	if len(pend) > 0 {
-		c.idx.Build(pend, c.reviews)
+	tags, _ := c.ReindexCtx(context.Background())
+	return tags
+}
+
+// ReindexCtx is Reindex with cooperative cancellation. On cancellation the
+// drained tags are requeued onto the history (nothing is lost, nothing is
+// published) and the error is a *StageError wrapping ctx's error.
+func (c *Client) ReindexCtx(ctx context.Context) ([]string, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, &StageError{Stage: "reindex", Err: err}
 	}
-	return pend
+	w := c.w.Load()
+	pend := w.history.Drain()
+	if len(pend) == 0 {
+		return nil, nil
+	}
+	if err := w.idx.BuildCtx(ctx, pend, w.reviews); err != nil {
+		w.history.Requeue(pend)
+		return nil, &StageError{Stage: "reindex", Err: err}
+	}
+	return pend, nil
 }
 
 // Query answers a natural-language utterance: intent recognition and slot
@@ -319,34 +420,82 @@ func (c *Client) Reindex() []string {
 // children time each pipeline stage: parse → tagger.decode → pairing.pairs
 // → objective → rank (with per-tag index.resolve spans under rank).
 func (c *Client) Query(utterance string) Response {
-	t0 := time.Now()
-	root := c.o.StartSpan("query").Set("utterance_len", len(utterance))
-	svc := c.serviceView()
+	resp, _ := c.QueryCtx(context.Background(), utterance)
+	return resp
+}
 
+// QueryCtx is Query with cooperative cancellation and per-request options.
+// The context is polled at every stage boundary (parse → extract →
+// objective → rank) and periodically inside the tagger decode loop and the
+// rank stage's per-tag similarity scans, so an expired deadline is observed
+// mid-rank rather than after the full scan. A cancelled or expired context
+// returns a zero Response and a *StageError naming the stage that observed
+// it — never partial results. The root "query" span is annotated with a
+// cancelled/deadline status and the query.interrupted.total counter ticks.
+//
+// The current index snapshot is pinned once, up front: the whole request —
+// unknown-tag checks and ranking alike — reads one immutable index
+// generation even while Reindex or IndexEntities publishes a new one
+// mid-flight. An optional QueryOptions overrides TopK and ThetaFilter for
+// this request only.
+func (c *Client) QueryCtx(ctx context.Context, utterance string, opts ...QueryOptions) (Response, error) {
+	t0 := time.Now()
+	topK, theta := c.cfg.TopK, c.cfg.ThetaFilter
+	if len(opts) > 0 {
+		if opts[0].TopK != nil {
+			topK = *opts[0].TopK
+		}
+		if opts[0].ThetaFilter != nil {
+			theta = *opts[0].ThetaFilter
+		}
+	}
+	root := c.o.StartSpan("query").Set("utterance_len", len(utterance))
+	w := c.w.Load()
+	snap := w.idx.Current()
+	fail := func(stage string, err error) (Response, error) {
+		c.o.Counter("query.interrupted.total").Inc()
+		root.SetStatus(err).End()
+		return Response{}, &StageError{Stage: stage, Err: err}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return fail("parse", err)
+	}
 	st := obs.BeginStage(c.o, root, "parse")
 	in := parseIntentSlots(utterance)
 	st.End()
 
-	tags := c.extr.ExtractTagsTraced(root, utterance)
+	tags, err := c.extr.ExtractTagsCtx(ctx, root, utterance)
+	if err != nil {
+		return fail("extract", err)
+	}
 
 	var unknown []string
 	for _, t := range tags {
-		if !c.idx.Has(t) {
+		if !snap.Has(t) {
 			unknown = append(unknown, t)
-			c.history.Add(t)
+			w.history.Add(t)
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return fail("objective", err)
+	}
 	st = obs.BeginStage(c.o, root, "objective")
-	apiResults := c.objectiveFilter(in.slots)
+	apiResults := objectiveFilter(w, in.slots)
 	st.Span().Set("results", len(apiResults))
 	st.End()
 
 	st = obs.BeginStage(c.o, root, "rank")
-	ranked := svc.RankTraced(st.Span(), apiResults, tags)
+	ranker := &search.Ranker{Index: snap, ThetaFilter: theta, Agg: search.MeanAgg}
+	ranked, err := ranker.RankCtx(ctx, st.Span(), apiResults, tags)
+	if err != nil {
+		st.EndErr(err)
+		return fail("rank", err)
+	}
 	st.End()
-	if c.cfg.TopK > 0 && len(ranked) > c.cfg.TopK {
-		ranked = ranked[:c.cfg.TopK]
+	if topK > 0 && len(ranked) > topK {
+		ranked = ranked[:topK]
 	}
 	results := make([]Result, len(ranked))
 	for i, s := range ranked {
@@ -364,21 +513,39 @@ func (c *Client) Query(utterance string) Response {
 		Tags:        tags,
 		UnknownTags: unknown,
 		Results:     results,
-	}
+	}, nil
 }
 
 // QueryTags answers a query given directly as subjective tags (no dialog
 // parsing), ranking all indexed entities.
 func (c *Client) QueryTags(tags []string) []Result {
+	out, _ := c.QueryTagsCtx(context.Background(), tags)
+	return out
+}
+
+// QueryTagsCtx is QueryTags with cooperative cancellation and per-request
+// options, under the same contract as QueryCtx: one pinned index snapshot,
+// a *StageError and no partial results on cancellation.
+func (c *Client) QueryTagsCtx(ctx context.Context, tags []string, opts ...QueryOptions) ([]Result, error) {
 	t0 := time.Now()
-	svc := c.serviceView()
+	topK, theta := c.cfg.TopK, c.cfg.ThetaFilter
+	if len(opts) > 0 {
+		if opts[0].TopK != nil {
+			topK = *opts[0].TopK
+		}
+		if opts[0].ThetaFilter != nil {
+			theta = *opts[0].ThetaFilter
+		}
+	}
+	w := c.w.Load()
+	snap := w.idx.Current()
 	for _, t := range tags {
-		if !c.idx.Has(strings.ToLower(t)) {
-			c.history.Add(strings.ToLower(t))
+		if lt := strings.ToLower(t); !snap.Has(lt) {
+			w.history.Add(lt)
 		}
 	}
 	var all []string
-	for id := range c.entities {
+	for id := range w.entities {
 		all = append(all, id)
 	}
 	sort.Strings(all)
@@ -386,9 +553,14 @@ func (c *Client) QueryTags(tags []string) []Result {
 	for i, t := range tags {
 		low[i] = strings.ToLower(t)
 	}
-	ranked := svc.Rank(all, low)
-	if c.cfg.TopK > 0 && len(ranked) > c.cfg.TopK {
-		ranked = ranked[:c.cfg.TopK]
+	ranker := &search.Ranker{Index: snap, ThetaFilter: theta, Agg: search.MeanAgg}
+	ranked, err := ranker.RankCtx(ctx, nil, all, low)
+	if err != nil {
+		c.o.Counter("query.interrupted.total").Inc()
+		return nil, &StageError{Stage: "rank", Err: err}
+	}
+	if topK > 0 && len(ranked) > topK {
+		ranked = ranked[:topK]
 	}
 	out := make([]Result, len(ranked))
 	for i, s := range ranked {
@@ -396,12 +568,12 @@ func (c *Client) QueryTags(tags []string) []Result {
 	}
 	c.o.Counter("query.tags.total").Inc()
 	c.o.Histogram("query.latency").ObserveSince(t0)
-	return out
+	return out, nil
 }
 
 // Entity returns an indexed entity by id.
 func (c *Client) Entity(id string) (Entity, bool) {
-	e, ok := c.entities[id]
+	e, ok := c.w.Load().entities[id]
 	return e, ok
 }
 
@@ -438,8 +610,18 @@ func (c *Client) Observer() *obs.Observer { return c.o }
 
 // ServeMetrics starts an HTTP server exposing the client's metrics registry
 // in Prometheus text format at /metrics and the pprof handlers under
-// /debug/pprof. The returned server's Addr holds the bound address (useful
-// with ":0"); shut it down with its Close/Shutdown methods.
+// /debug/pprof.
+//
+// Lifecycle: the listener is opened synchronously — when ServeMetrics
+// returns nil error the endpoint is already accepting connections, and the
+// returned server's Addr holds the resolved bound address (so addr may use
+// ":0" to pick a free port). The caller owns the returned server: stop it
+// with Shutdown (graceful) or Close. If the listener cannot be opened — a
+// malformed address, or the port still held by an earlier ServeMetrics that
+// hasn't been shut down — the error is returned immediately and nothing is
+// leaked. After a shutdown, ServeMetrics may be called again, including on
+// the same address; each call serves the same live registry, so multiple
+// concurrent servers on different ports are also fine.
 func (c *Client) ServeMetrics(addr string) (*http.Server, error) {
 	return obs.Serve(addr, c.o.Metrics)
 }
@@ -487,14 +669,10 @@ func parseIntentSlots(utterance string) intentView {
 	return intentView{name: in.Name, slots: in.Slots}
 }
 
-// serviceView builds an Algorithm 1 ranker over the current index.
-func (c *Client) serviceView() *search.Ranker {
-	return &search.Ranker{Index: c.idx, ThetaFilter: c.cfg.ThetaFilter, Agg: search.MeanAgg}
-}
-
-func (c *Client) objectiveFilter(slots map[string]string) []string {
+// objectiveFilter plays the §3.2 objective API over one pinned world.
+func objectiveFilter(w *world, slots map[string]string) []string {
 	var out []string
-	for id, e := range c.entities {
+	for id, e := range w.entities {
 		if v, ok := slots["cuisine"]; ok && !strings.EqualFold(e.Cuisine, v) {
 			continue
 		}
@@ -508,20 +686,27 @@ func (c *Client) objectiveFilter(slots map[string]string) []string {
 }
 
 // SaveIndex writes the current subjective tag index as JSON so it can be
-// reloaded without re-extracting reviews.
-func (c *Client) SaveIndex(w io.Writer) error { return c.idx.Save(w) }
+// reloaded without re-extracting reviews. It serializes the snapshot
+// current at the moment of the call, unaffected by concurrent rebuilds.
+func (c *Client) SaveIndex(w io.Writer) error { return c.w.Load().idx.Save(w) }
 
-// LoadIndex restores a previously saved index. The client's entities must
-// be re-registered separately (IndexEntities with an empty tag list keeps
-// reviews without rebuilding the postings).
-func (c *Client) LoadIndex(r io.Reader) error { return c.idx.Load(r) }
+// LoadIndex restores a previously saved index. The loaded postings are
+// validated fully before anything is published, then swapped in atomically;
+// on error the client keeps serving its previous index. The client's
+// entities must be re-registered separately (IndexEntities with an empty
+// tag list keeps reviews without rebuilding the postings).
+func (c *Client) LoadIndex(r io.Reader) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.w.Load().idx.Load(r)
+}
 
 // CorrectTag routes a possibly misspelled tag onto the closest indexed tag
 // within edit distance 2, using the §7 search-automaton extension. It
 // returns the input unchanged when nothing is close enough.
 func (c *Client) CorrectTag(tag string) string {
 	trie := automaton.New()
-	c.idx.EachTag(func(t string) bool { trie.Add(t); return true })
+	c.w.Load().idx.EachTag(func(t string) bool { trie.Add(t); return true })
 	if fixed, ok := trie.Closest(strings.ToLower(tag), 2); ok {
 		return fixed
 	}

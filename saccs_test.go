@@ -112,7 +112,7 @@ func TestClientUnknownTagAndReindex(t *testing.T) {
 		t.Fatal("Reindex added nothing")
 	}
 	for _, tag := range added {
-		if !c.idx.Has(tag) {
+		if !c.w.Load().idx.Has(tag) {
 			t.Fatalf("tag %q not indexed after Reindex", tag)
 		}
 	}
@@ -167,19 +167,20 @@ func TestConfigZeroValuesHonored(t *testing.T) {
 	if err := c.IndexEntities(demoEntities(), []string{"delicious food"}); err != nil {
 		t.Fatal(err)
 	}
-	zero := c.idx.Lookup("delicious food")
+	zero := c.w.Load().idx.Lookup("delicious food")
 	def := newClient(t)
 	if err := def.IndexEntities(demoEntities(), []string{"delicious food"}); err != nil {
 		t.Fatal(err)
 	}
-	if len(zero) < len(def.idx.Lookup("delicious food")) {
+	if len(zero) < len(def.w.Load().idx.Lookup("delicious food")) {
 		t.Fatalf("theta_index 0 produced fewer postings (%d) than 0.55", len(zero))
 	}
 }
 
 // TestConcurrentQueryReindex hammers Query from 8 goroutines while Reindex
-// runs the adaptive loop of Fig. 1 concurrently — the contract the tentpole
-// establishes (reentrant extraction + RWMutex index). Run with -race.
+// runs the adaptive loop of Fig. 1 concurrently — the snapshot-publication
+// contract (reentrant extraction + pinned immutable index generations).
+// Run with -race.
 func TestConcurrentQueryReindex(t *testing.T) {
 	c := newClient(t)
 	if err := c.IndexEntities(demoEntities(), []string{"delicious food"}); err != nil {
@@ -216,7 +217,7 @@ func TestConcurrentQueryReindex(t *testing.T) {
 	// Every unknown tag either drained into the index by a Reindex round or
 	// is still pending; a final round must leave nothing behind.
 	c.Reindex()
-	for _, tag := range c.history.Pending() {
+	for _, tag := range c.w.Load().history.Pending() {
 		t.Errorf("tag %q still pending after final Reindex", tag)
 	}
 }
