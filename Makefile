@@ -17,10 +17,10 @@ FUZZTIME ?= 30s
 # Minimum acceptable total test coverage (percent), measured by `make cover`.
 # Recorded from the seed tree; raise it when coverage genuinely improves,
 # never lower it to make a PR pass.
-COVER_BASELINE ?= 75.2
+COVER_BASELINE ?= 75.8
 
 .PHONY: ci lint vet build test test-short race race-full bench bench-smoke \
-	bench-contention check fuzz-smoke cover
+	bench-contention bench-cache check fuzz-smoke cover
 
 ci: lint build race check fuzz-smoke bench-smoke
 
@@ -74,6 +74,13 @@ bench-smoke:
 # contention rows to BENCH.json.
 bench-contention:
 	$(GO) run ./cmd/saccs-bench -only contention -readers 8 -contention-dur 2s
+
+# bench-cache measures the generation-keyed extraction cache: cold vs warm
+# per-sentence extraction latency, the warm hit ratio, and repeated-utterance
+# query QPS with the cache off and on. Appends the cache section to
+# BENCH.json.
+bench-cache:
+	$(GO) run ./cmd/saccs-bench -only cache -parallel-dur 2s
 
 # check runs the correctness harness under the race detector: the
 # internal/check differential oracles (serial vs parallel build, persisted vs

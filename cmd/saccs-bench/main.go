@@ -20,10 +20,15 @@
 // would mean readers are blocking on the writer. All sections append to the
 // same BENCH.json.
 //
+// The "cache" section measures the generation-keyed extraction cache: cold
+// (uncached) vs warm (cache pre-warmed) per-sentence extraction latency, the
+// warm pass's hit ratio, and end-to-end repeated-utterance query QPS with
+// the cache off and on. Each QPS pass runs for -parallel-dur.
+//
 // Usage:
 //
 //	saccs-bench [-scale fast|paper]
-//	            [-only table2,table3,table4,table5,figures,stages,parallel,contention]
+//	            [-only table2,table3,table4,table5,figures,stages,parallel,contention,cache]
 //	            [-parallel N] [-parallel-dur 2s]
 //	            [-readers N] [-contention-dur 2s]
 //	            [-bench-out BENCH.json] [-metrics-addr :9090]
@@ -44,6 +49,7 @@ import (
 	"saccs/internal/core"
 	"saccs/internal/datasets"
 	"saccs/internal/experiments"
+	"saccs/internal/extcache"
 	"saccs/internal/index"
 	"saccs/internal/obs"
 	"saccs/internal/pairing"
@@ -57,7 +63,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "fast", "experiment scale: fast or paper")
-	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures,stages,parallel")
+	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures,stages,parallel,contention,cache")
 	benchOut := flag.String("bench-out", "BENCH.json", "file for the machine-readable benchmark results (empty disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
 	parallelN := flag.Int("parallel", runtime.GOMAXPROCS(0), "goroutines for the parallel query benchmark")
@@ -116,8 +122,9 @@ func main() {
 	run("stages", func() { stageBenchmarks(o, doc) })
 	run("parallel", func() { parallelBenchmarks(o, doc, *parallelN, *parallelDur) })
 	run("contention", func() { contentionBenchmarks(o, doc, *readersN, *contentionDur) })
+	run("cache", func() { cacheBenchmarks(o, doc, *parallelDur) })
 
-	if *benchOut != "" && (len(doc.Stages) > 0 || len(doc.Parallel) > 0 || len(doc.Contention) > 0) {
+	if *benchOut != "" && (len(doc.Stages) > 0 || len(doc.Parallel) > 0 || len(doc.Contention) > 0 || doc.Cache != nil) {
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
@@ -126,8 +133,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *benchOut, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d stages, %d parallel passes, %d contention passes)\n",
-			*benchOut, len(doc.Stages), len(doc.Parallel), len(doc.Contention))
+		cacheRows := 0
+		if doc.Cache != nil {
+			cacheRows = len(doc.Cache.Results)
+		}
+		fmt.Printf("wrote %s (%d stages, %d parallel passes, %d contention passes, %d cache rows)\n",
+			*benchOut, len(doc.Stages), len(doc.Parallel), len(doc.Contention), cacheRows)
 	}
 }
 
@@ -160,12 +171,30 @@ type contentionResult struct {
 	QPS      float64 `json:"qps"`
 }
 
+// cacheSection is the extraction-cache benchmark's BENCH.json entry.
+type cacheSection struct {
+	// Results holds the cold (uncached) and warm (cache pre-warmed)
+	// per-sentence extraction measurements.
+	Results []stageResult `json:"results"`
+	// Speedup is cold ns/op over warm ns/op.
+	Speedup float64 `json:"speedup"`
+	// HitRatio is the warm pass's cache hit ratio.
+	HitRatio float64 `json:"hit_ratio"`
+	// ColdQPS and WarmQPS are end-to-end repeated-utterance query
+	// throughput with the cache detached and attached.
+	ColdQPS float64 `json:"cold_qps"`
+	WarmQPS float64 `json:"warm_qps"`
+	// QPSSpeedup is WarmQPS over ColdQPS.
+	QPSSpeedup float64 `json:"qps_speedup"`
+}
+
 // benchFile is the BENCH.json document.
 type benchFile struct {
 	Command    string             `json:"command"`
 	Stages     []stageResult      `json:"stages,omitempty"`
 	Parallel   []parallelResult   `json:"parallel,omitempty"`
 	Contention []contentionResult `json:"contention,omitempty"`
+	Cache      *cacheSection      `json:"cache,omitempty"`
 }
 
 // benchPipeline builds the fast pipeline the stage and parallel benchmarks
@@ -411,4 +440,91 @@ func contentionBenchmarks(o *obs.Observer, doc *benchFile, readers int, dur time
 			rows[0].QPS/rows[1].QPS, runtime.GOMAXPROCS(0))
 	}
 	doc.Contention = rows
+}
+
+// cacheBenchmarks measures what the generation-keyed extraction cache buys
+// on repeated sentences: cold (uncached) vs warm (pre-warmed cache)
+// per-sentence extraction latency and allocations, the warm pass's hit
+// ratio, and end-to-end repeated-utterance query throughput with the cache
+// detached and attached (dur per QPS pass). Real dialog traffic repeats
+// itself — canned phrasings, retried queries, reviews quoting the same
+// sentences — which is the regime the warm numbers model.
+func cacheBenchmarks(o *obs.Observer, doc *benchFile, dur time.Duration) {
+	svc, ex, tg := buildBenchPipeline(o)
+	utterances := []string{
+		"I want an Italian restaurant in Montreal with delicious food",
+		"somewhere with friendly staff and a quiet atmosphere",
+		"good food and attentive waiters please",
+		"a place with creative cooking and amazing pizza",
+	}
+	sents := make([][]string, len(utterances))
+	for i, u := range utterances {
+		sents[i] = tokenize.Words(u)
+	}
+
+	cold := &core.Extractor{Tagger: tg, Pairer: ex.Pairer}
+	cache := extcache.New(4096)
+	warm := &core.Extractor{Tagger: tg, Pairer: ex.Pairer, Cache: cache}
+	for _, s := range sents {
+		warm.ExtractFromTokens(s) // pre-warm: one decode per distinct sentence
+	}
+
+	bench := func(name string, fn func(i int)) stageResult {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn(i)
+			}
+		})
+		return stageResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+	rows := []stageResult{
+		bench("extract.cold", func(i int) { cold.ExtractFromTokens(sents[i%len(sents)]) }),
+		bench("extract.warm", func(i int) { warm.ExtractFromTokens(sents[i%len(sents)]) }),
+	}
+	fmt.Printf("%-14s %14s %12s %12s\n", "pass", "ns/op", "allocs/op", "B/op")
+	for _, r := range rows {
+		fmt.Printf("%-14s %14.0f %12d %12d\n", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	sec := &cacheSection{Results: rows}
+	if rows[1].NsPerOp > 0 {
+		sec.Speedup = rows[0].NsPerOp / rows[1].NsPerOp
+	}
+	hits, misses, _ := cache.Stats()
+	if hits+misses > 0 {
+		sec.HitRatio = float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("warm speedup: %.1fx  hit ratio: %.4f (%d hits / %d misses)\n",
+		sec.Speedup, sec.HitRatio, hits, misses)
+
+	// End-to-end repeated-utterance QPS: the same four utterances through
+	// Service.Query, cache detached then attached. Single goroutine — the
+	// point is per-query cost, not parallel scaling.
+	measureQPS := func() float64 {
+		deadline := time.Now().Add(dur)
+		start := time.Now()
+		n := 0
+		for i := 0; time.Now().Before(deadline); i++ {
+			svc.Query(utterances[i%len(utterances)])
+			n++
+		}
+		return float64(n) / time.Since(start).Seconds()
+	}
+	ex.Cache = nil
+	sec.ColdQPS = measureQPS()
+	ex.Cache = cache
+	sec.WarmQPS = measureQPS()
+	ex.Cache = nil // leave the shared pipeline the way the other sections expect it
+	if sec.ColdQPS > 0 {
+		sec.QPSSpeedup = sec.WarmQPS / sec.ColdQPS
+	}
+	fmt.Printf("repeated-utterance query QPS: cold %.1f, warm %.1f (%.1fx)\n",
+		sec.ColdQPS, sec.WarmQPS, sec.QPSSpeedup)
+	doc.Cache = sec
 }

@@ -28,6 +28,7 @@ import (
 	"saccs/internal/core"
 	"saccs/internal/datasets"
 	"saccs/internal/experiments"
+	"saccs/internal/extcache"
 	"saccs/internal/obs"
 	"saccs/internal/pairing"
 	"saccs/internal/parse"
@@ -66,6 +67,9 @@ func main() {
 	ex := &core.Extractor{
 		Tagger: tg,
 		Pairer: pairing.Tree{Lex: parse.DomainLexicon(world.Domain), FromOpinions: true},
+		// Interactive sessions repeat themselves; the generation-keyed cache
+		// serves repeated sentences without a decode (see :stats).
+		Cache: extcache.New(4096),
 	}
 	svc := core.NewService(world, ex, nil, core.DefaultConfig())
 	svc.SetObserver(o)

@@ -17,6 +17,7 @@ import (
 	"saccs/internal/core"
 	"saccs/internal/datasets"
 	"saccs/internal/experiments"
+	"saccs/internal/extcache"
 	"saccs/internal/obs"
 	"saccs/internal/pairing"
 	"saccs/internal/parse"
@@ -62,6 +63,9 @@ func main() {
 		ex = &core.Extractor{
 			Tagger: tg,
 			Pairer: pairing.Tree{Lex: parse.DomainLexicon(world.Domain), FromOpinions: true},
+			// Reviews quote the same sentences; the cache decodes each once
+			// per build.
+			Cache: extcache.New(4096),
 		}
 		src = core.NeuralSource{E: ex}
 	}

@@ -1,0 +1,110 @@
+package bert
+
+import (
+	"math/rand"
+	"testing"
+
+	"saccs/internal/nn"
+)
+
+// Infer promises bit-identical hidden states to Encode: the golden
+// snapshots and the extraction cache's determinism contract depend on the
+// inference kernels executing Encode's float operations in Encode's order.
+func TestInferMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	v := tinyVocab()
+	m := New(rng, Config{Layers: 2, Heads: 2, Dim: 8, FFDim: 12, MaxLen: 16}, v)
+	for _, sent := range [][]string{
+		{"the", "food", "is", "delicious"},
+		{"staff"},
+		{"the", "staff", "is", "friendly", "and", "the", "food", "is", "delicious", "."},
+	} {
+		ids := v.Encode(sent)
+		want := m.Encode(ids)
+		got := m.Infer(ids)
+		if len(got) != len(want) {
+			t.Fatalf("length %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("%v: h[%d][%d]: %v != %v", sent, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestInferArenaMatchesInfer(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	v := tinyVocab()
+	m := New(rng, tinyConfig(), v)
+	ids := v.Encode([]string{"the", "food", "is", "delicious", "."})
+	want := m.Infer(ids)
+	var a nn.Arena
+	got := m.InferArena(ids, &a)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("h[%d][%d]: %v != %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	// The arena-backed tokenizing variant must agree too.
+	a.Reset()
+	got2 := m.InferTokensArena([]string{"the", "food", "is", "delicious", "."}, &a)
+	for i := range want {
+		for j := range want[i] {
+			if got2[i][j] != want[i][j] {
+				t.Fatalf("tokens h[%d][%d]: %v != %v", i, j, got2[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestInferEmptySequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := New(rng, tinyConfig(), tinyVocab())
+	if got := m.Infer(nil); len(got) != 0 {
+		t.Fatalf("Infer(nil) returned %d vectors", len(got))
+	}
+	var a nn.Arena
+	if got := m.InferArena(nil, &a); len(got) != 0 {
+		t.Fatalf("InferArena(nil) returned %d vectors", len(got))
+	}
+}
+
+// TestInferAllocsRegression pins the per-call allocation count of the
+// pooled-arena Infer path: the copy-out (one header slice + one flat
+// backing array) plus pool bookkeeping. The pre-arena implementation paid
+// hundreds of allocations per call in fresh intermediate vectors.
+func TestInferAllocsRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	v := tinyVocab()
+	m := New(rng, Config{Layers: 2, Heads: 2, Dim: 16, FFDim: 24, MaxLen: 32}, v)
+	ids := v.Encode([]string{"the", "staff", "is", "friendly", "and", "the", "food", "is", "delicious", "."})
+	for i := 0; i < 3; i++ {
+		m.Infer(ids) // warm the pooled arenas
+	}
+	allocs := testing.AllocsPerRun(100, func() { m.Infer(ids) })
+	if allocs > 8 {
+		t.Fatalf("warm Infer allocates %v times per call, want <= 8", allocs)
+	}
+}
+
+// TestInferArenaZeroAllocsWhenWarm pins the fully arena-backed path at zero.
+func TestInferArenaZeroAllocsWhenWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	v := tinyVocab()
+	m := New(rng, tinyConfig(), v)
+	ids := v.Encode([]string{"the", "food", "is", "delicious"})
+	var a nn.Arena
+	m.InferArena(ids, &a) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Reset()
+		m.InferArena(ids, &a)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm InferArena allocates %v times per call, want 0", allocs)
+	}
+}

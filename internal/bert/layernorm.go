@@ -77,20 +77,28 @@ func (ln *LayerNorm) ForwardSeq(xs []mat.Vec) []mat.Vec {
 func (ln *LayerNorm) ApplySeq(xs []mat.Vec) []mat.Vec {
 	ys := make([]mat.Vec, len(xs))
 	for t, x := range xs {
-		mean := x.Mean()
-		var varSum float64
-		for _, v := range x {
-			d := v - mean
-			varSum += d * d
-		}
-		std := math.Sqrt(varSum/float64(len(x)) + ln.Eps)
 		y := mat.NewVec(len(x))
-		for i, v := range x {
-			y[i] = (v-mean)/std*ln.Gain.W.Data[i] + ln.Bias.W.Data[i]
-		}
+		ln.ApplyInto(y, x)
 		ys[t] = y
 	}
 	return ys
+}
+
+// ApplyInto normalizes x into the caller-provided y — the allocation-free
+// inference kernel behind ApplySeq. It computes exactly what ForwardSeq
+// computes for one vector (same mean/variance/affine order), writes no
+// receiver state, and is safe for concurrent callers.
+func (ln *LayerNorm) ApplyInto(y, x mat.Vec) {
+	mean := x.Mean()
+	var varSum float64
+	for _, v := range x {
+		d := v - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum/float64(len(x)) + ln.Eps)
+	for i, v := range x {
+		y[i] = (v-mean)/std*ln.Gain.W.Data[i] + ln.Bias.W.Data[i]
+	}
 }
 
 // BackwardSeq backpropagates through the most recent ForwardSeq.

@@ -58,22 +58,14 @@ type Model struct {
 	scratchMiss *obs.Counter
 }
 
-// Scratch holds the per-call buffers of one inference forward pass (the
-// attention score row and softmax row). A Scratch belongs to exactly one
-// in-flight Infer call; the model's sync.Pool recycles them so concurrent
-// queries do not allocate fresh rows per attention head.
+// Scratch holds the per-call buffers of one inference forward pass: a whole-
+// pipeline arena that every intermediate of the transformer stack (embedding
+// sums, attention projections, score and softmax rows, residuals, FFN
+// activations) is carved from. A Scratch belongs to exactly one in-flight
+// Infer call; the model's sync.Pool recycles them so concurrent queries stop
+// allocating entirely once each pooled arena has seen its peak demand.
 type Scratch struct {
-	scores mat.Vec
-	attn   mat.Vec
-}
-
-// rows returns the score and softmax buffers grown to length n.
-func (s *Scratch) rows(n int) (scores, attn mat.Vec) {
-	if cap(s.scores) < n {
-		s.scores = mat.NewVec(n)
-		s.attn = mat.NewVec(n)
-	}
-	return s.scores[:n], s.attn[:n]
+	nn.Arena
 }
 
 // SetObserver attaches runtime observability: every Encode records its
@@ -169,31 +161,64 @@ func (m *Model) EncodeTokens(tokens []string) []mat.Vec {
 
 // Infer is the reentrant counterpart of Encode: the same forward pass, but
 // no receiver state is written, so any number of goroutines may infer
-// concurrently. Per-call buffers come from an internal sync.Pool. Because
-// no caches are kept, Backward and Attention do not see Infer calls — use
-// Encode for training and for the §5.1 attention-pairing readback.
+// concurrently. Per-call buffers come from a pooled arena; the returned
+// vectors are copied out of it (one backing array for the whole sequence),
+// so they outlive the call. Because no caches are kept, Backward and
+// Attention do not see Infer calls — use Encode for training and for the
+// §5.1 attention-pairing readback.
 func (m *Model) Infer(ids []int) []mat.Vec {
 	if m.o != nil {
 		defer m.encHist.ObserveSince(time.Now())
 		m.encTokens.Add(int64(len(ids)))
-	}
-	ids = m.truncate(ids)
-	xs := make([]mat.Vec, len(ids))
-	for i, id := range ids {
-		v := m.TokEmb.Lookup(id)
-		v.Add(m.PosEmb.Table.W.Row(i))
-		xs[i] = v
 	}
 	m.scratchGets.Inc()
 	s, _ := m.scratch.Get().(*Scratch)
 	if s == nil { // zero-value Model built without New
 		s = &Scratch{}
 	}
-	h := xs
-	for _, b := range m.Blocks {
-		h = b.InferSeq(h, s)
+	s.Reset()
+	h := m.inferArena(ids, &s.Arena)
+	// Copy results out of the arena before pooling it: one flat backing
+	// array plus one header slice for the whole sequence.
+	out := make([]mat.Vec, len(h))
+	flat := make([]float64, len(h)*m.Cfg.Dim)
+	for i, v := range h {
+		dst := flat[i*m.Cfg.Dim : (i+1)*m.Cfg.Dim : (i+1)*m.Cfg.Dim]
+		copy(dst, v)
+		out[i] = dst
 	}
 	m.scratch.Put(s)
+	return out
+}
+
+// InferArena runs the reentrant forward pass with every buffer — including
+// the returned hidden states — carved from the caller's arena. The results
+// are valid only until the arena's next Reset; callers that need them to
+// survive should use Infer, which copies out. This is the whole-pipeline
+// fast path: a tagger decode threads one arena through embeddings,
+// transformer blocks, BiLSTM, projection, and Viterbi without a single heap
+// allocation once the arena is warm.
+func (m *Model) InferArena(ids []int, a *nn.Arena) []mat.Vec {
+	if m.o != nil {
+		defer m.encHist.ObserveSince(time.Now())
+		m.encTokens.Add(int64(len(ids)))
+	}
+	return m.inferArena(ids, a)
+}
+
+func (m *Model) inferArena(ids []int, a *nn.Arena) []mat.Vec {
+	ids = m.truncate(ids)
+	xs := a.Seq(len(ids))
+	for i, id := range ids {
+		v := a.Vec(m.Cfg.Dim)
+		m.TokEmb.LookupInto(v, id)
+		v.Add(m.PosEmb.Table.W.Row(i))
+		xs[i] = v
+	}
+	h := xs
+	for _, b := range m.Blocks {
+		h = b.InferSeq(h, a)
+	}
 	return h
 }
 
@@ -201,6 +226,17 @@ func (m *Model) Infer(ids []int) []mat.Vec {
 // forward pass (see Infer).
 func (m *Model) InferTokens(tokens []string) []mat.Vec {
 	return m.Infer(m.Vocab.Encode(tokens))
+}
+
+// InferTokensArena tokenizes against the model vocabulary and runs the
+// arena-backed forward pass (see InferArena). The token-id slice is carved
+// from the arena too, so the whole call is allocation-free once warm.
+func (m *Model) InferTokensArena(tokens []string, a *nn.Arena) []mat.Vec {
+	ids := a.Ints(len(tokens))
+	for i, t := range tokens {
+		ids[i] = m.Vocab.ID(t)
+	}
+	return m.InferArena(ids, a)
 }
 
 // Backward backpropagates upstream gradients through the blocks and the

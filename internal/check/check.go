@@ -67,5 +67,14 @@ func DefaultSuite(seed int64) []Check {
 		{"prop/slot-word-boundary", func() error {
 			return SlotWordBoundary(seed+8, 60)
 		}},
+		{"oracle/extract-cache", func() error {
+			return ExtractionCacheOracle(seed+10, 16)
+		}},
+		{"oracle/extract-batch", func() error {
+			return ExtractBatchOracle(seed+11, 24, []int{2, 4, 8})
+		}},
+		{"oracle/extract-gen-swap", func() error {
+			return ExtractGenSwapOracle(seed+12, 6, 12)
+		}},
 	}
 }

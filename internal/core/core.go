@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"saccs/internal/corpus"
+	"saccs/internal/extcache"
 	"saccs/internal/index"
 	"saccs/internal/obs"
 	"saccs/internal/pairing"
@@ -29,6 +30,15 @@ import (
 // tagger.OpineDB both satisfy it.
 type Tagger interface {
 	Predict(tokens []string) []tokenize.Label
+}
+
+// Generationer identifies a tagger's weight state; tagger.Model and
+// tagger.OpineDB both satisfy it. Equal generations promise bit-identical
+// predictions, which is what lets the extraction cache serve a stored result
+// in place of a decode. A Tagger without a generation (GoldTagger, test
+// fakes) is simply never cached.
+type Generationer interface {
+	Generation() uint64
 }
 
 // Pairer associates aspect spans with opinion spans; the §5.1 heuristics
@@ -71,6 +81,13 @@ func (p ClassifierPairer) Pairs(tokens []string, aspects, opinions []tokenize.Sp
 type Extractor struct {
 	Tagger Tagger
 	Pairer Pairer
+	// Cache, when non-nil and the Tagger has a weight generation
+	// (Generationer), short-circuits repeated sentences: the extracted tags
+	// of each normalized token sequence are stored under the tagger's
+	// generation and served without a decode while the weights are
+	// unchanged. A retrain or model swap bumps the generation, making every
+	// stale entry unservable. Nil (the default) disables caching.
+	Cache *extcache.Cache
 	// Obs, when set, records tagging and pairing latency histograms. Set it
 	// before use; it must not change while extractions are in flight.
 	Obs *obs.Observer
@@ -83,8 +100,29 @@ func (e *Extractor) ExtractFromTokens(tokens []string) []string {
 
 // ExtractFromTokensTraced is ExtractFromTokens with tracing: under a live
 // parent span it opens "tagger.decode" and "pairing.pairs" children — the §4
-// Viterbi decode and the §5 pairing stages of the pipeline.
+// Viterbi decode and the §5 pairing stages of the pipeline. Cache hits emit
+// the same two stage spans (so trace shapes and stage histograms are
+// unaffected by caching) with a "cached" attribute set.
 func (e *Extractor) ExtractFromTokensTraced(parent *obs.Span, tokens []string) []string {
+	var gen uint64
+	var key string
+	var tg Generationer
+	if e.Cache != nil {
+		if g, ok := e.Tagger.(Generationer); ok {
+			tg = g
+			gen = g.Generation()
+			key = strings.Join(tokens, "\x1f")
+			if tags, ok := e.Cache.Get(gen, key); ok {
+				st := obs.BeginStage(e.Obs, parent, "tagger.decode")
+				st.Span().Set("tokens", len(tokens)).Set("cached", 1)
+				st.End()
+				st = obs.BeginStage(e.Obs, parent, "pairing.pairs")
+				st.Span().Set("cached", 1)
+				st.End()
+				return tags
+			}
+		}
+	}
 	st := obs.BeginStage(e.Obs, parent, "tagger.decode")
 	labels := e.Tagger.Predict(tokens)
 	st.Span().Set("tokens", len(tokens))
@@ -111,7 +149,55 @@ func (e *Extractor) ExtractFromTokensTraced(parent *obs.Span, tokens []string) [
 			tags = append(tags, tag)
 		}
 	}
+	// Store only if the weights did not change while we were decoding: a
+	// Train that overlapped this decode bumped the generation at its start,
+	// so the re-read differs and the possibly-mixed result is discarded
+	// rather than cached under the pre-train generation.
+	if tg != nil && tg.Generation() == gen {
+		e.Cache.Put(gen, key, tags)
+	}
 	return tags
+}
+
+// ExtractBatch extracts tags from many tokenized sentences, fanning the
+// sentences (not their callers' coarser units) across at most workers
+// goroutines: 0 means GOMAXPROCS, 1 forces serial. Results land in input
+// order, and since sentence extractions are independent the output is
+// identical to calling ExtractFromTokens in a loop, for any worker count.
+// The workers share the extractor's cache, so duplicated sentences are
+// decoded once. Requires a reentrant Tagger/Pairer when workers > 1 (every
+// production pipeline in this repo is; pairing.Attention is not).
+func (e *Extractor) ExtractBatch(sentences [][]string, workers int) [][]string {
+	out := make([][]string, len(sentences))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sentences) {
+		workers = len(sentences)
+	}
+	if workers <= 1 {
+		for i, s := range sentences {
+			out[i] = e.ExtractFromTokens(s)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sentences) {
+					return
+				}
+				out[i] = e.ExtractFromTokens(sentences[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // ExtractTags splits free text into sentences and extracts tags from each.
@@ -243,6 +329,7 @@ func (s *Service) SetObserver(o *obs.Observer) {
 	s.Index.SetObserver(o)
 	if s.Extractor != nil {
 		s.Extractor.Obs = o
+		s.Extractor.Cache.SetObserver(o)
 	}
 }
 
@@ -267,9 +354,14 @@ func NewService(w *yelp.World, ex *Extractor, measure sim.Measure, cfg Config) *
 
 // BuildEntityTags runs the tag source over every review once and caches the
 // per-entity tag multisets the indexer consumes. Extraction fans out across
-// at most Workers goroutines, one entity per task; each entity's result lands
-// in its input-order slot, so the cached tag multisets are identical for any
-// worker count.
+// at most Workers goroutines; each result lands in its input-order slot, so
+// the cached tag multisets are identical for any worker count.
+//
+// A NeuralSource is fanned out at sentence granularity (Extractor.
+// ExtractBatch): every (entity, review, sentence) becomes one task, so a few
+// review-heavy entities cannot serialize the build the way per-entity tasks
+// would, and duplicated sentences share one cached decode. Any other source
+// keeps the per-entity fan-out.
 func (s *Service) BuildEntityTags(src ReviewTagSource) {
 	var t0 time.Time
 	if s.Obs != nil {
@@ -280,9 +372,24 @@ func (s *Service) BuildEntityTags(src ReviewTagSource) {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > len(s.World.Entities) {
-		w = len(s.World.Entities)
+	if ns, ok := src.(NeuralSource); ok && w > 1 {
+		s.buildEntityTagsBatched(ns, w, out)
+	} else {
+		if w > len(s.World.Entities) {
+			w = len(s.World.Entities)
+		}
+		s.buildEntityTagsByEntity(src, w, out)
 	}
+	s.entityTags = out
+	if s.Obs != nil {
+		s.Obs.Histogram("extract.reviews").ObserveSince(t0)
+		s.Obs.Gauge("extract.entities").Set(float64(len(s.entityTags)))
+		s.Obs.Gauge("extract.workers").Set(float64(w))
+	}
+}
+
+// buildEntityTagsByEntity is the per-entity fan-out: one task per entity.
+func (s *Service) buildEntityTagsByEntity(src ReviewTagSource, w int, out []index.EntityReviews) {
 	extract := func(i int) {
 		e := s.World.Entities[i]
 		er := index.EntityReviews{EntityID: e.ID, ReviewCount: len(e.Reviews)}
@@ -295,29 +402,45 @@ func (s *Service) BuildEntityTags(src ReviewTagSource) {
 		for i := range s.World.Entities {
 			extract(i)
 		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for g := 0; g < w; g++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(s.World.Entities) {
-						return
-					}
-					extract(i)
-				}
-			}()
-		}
-		wg.Wait()
+		return
 	}
-	s.entityTags = out
-	if s.Obs != nil {
-		s.Obs.Histogram("extract.reviews").ObserveSince(t0)
-		s.Obs.Gauge("extract.entities").Set(float64(len(s.entityTags)))
-		s.Obs.Gauge("extract.workers").Set(float64(w))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.World.Entities) {
+					return
+				}
+				extract(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// buildEntityTagsBatched flattens every (entity, review, sentence) into one
+// job list, extracts all sentences through ExtractBatch (which applies the
+// Workers bound), and reassembles per-entity tag multisets in input order —
+// byte-identical to the serial per-entity walk.
+func (s *Service) buildEntityTagsBatched(ns NeuralSource, w int, out []index.EntityReviews) {
+	var sentences [][]string
+	var owner []int // flattened sentence -> entity slot
+	for i, e := range s.World.Entities {
+		out[i] = index.EntityReviews{EntityID: e.ID, ReviewCount: len(e.Reviews)}
+		for _, r := range e.Reviews {
+			for _, sent := range r.Sentences {
+				sentences = append(sentences, sent.Tokens)
+				owner = append(owner, i)
+			}
+		}
+	}
+	tags := ns.E.ExtractBatch(sentences, w)
+	for j, t := range tags {
+		out[owner[j]].Tags = append(out[owner[j]].Tags, t...)
 	}
 }
 

@@ -186,8 +186,11 @@ func (b *Builder) postingsForTag(ctx context.Context, tag string, entities []Ent
 	if !parallel || w > len(entities) {
 		w = 1
 	}
+	// Posting buffers are pre-sized to their worst case (every entity
+	// matches) so the append loops never reallocate mid-scan.
 	var entries []Entry
 	if w <= 1 {
+		entries = make([]Entry, 0, len(entities))
 		for _, e := range entities {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -211,7 +214,7 @@ func (b *Builder) postingsForTag(ctx context.Context, tag string, entities []Ent
 			wg.Add(1)
 			go func(c int, part []EntityReviews) {
 				defer wg.Done()
-				var out []Entry
+				out := make([]Entry, 0, len(part))
 				for _, e := range part {
 					if ctx.Err() != nil {
 						return
@@ -229,6 +232,11 @@ func (b *Builder) postingsForTag(ctx context.Context, tag string, entities []Ent
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		var n int
+		for _, part := range chunks {
+			n += len(part)
+		}
+		entries = make([]Entry, 0, n)
 		for _, part := range chunks {
 			entries = append(entries, part...)
 		}

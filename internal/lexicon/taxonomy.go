@@ -4,28 +4,67 @@ package lexicon
 // §3.1: in addition to the individual meaning of words it records their
 // nature, e.g. pizza IS-A food, so "amazing pizza" can be matched to the
 // index tag "good food".
+//
+// Precompute memoizes every known concept's hypernym chain and depth; with
+// the memo in place Ancestors, Depth, LCA, and WuPalmer are allocation-free,
+// which is what keeps the Eq. 1 index build's similarity scans off the heap.
+// Any AddIsA invalidates the memo (queries fall back to the walking paths)
+// until Precompute runs again.
 type Taxonomy struct {
 	parent map[string]string
+	// chains and depth are the Precompute memo: the full hypernym chain
+	// (starting with the concept itself) and root distance of every concept
+	// appearing anywhere in the graph. Both nil until Precompute.
+	chains map[string][]string
 	depth  map[string]int
 }
 
 // NewTaxonomy returns an empty taxonomy.
 func NewTaxonomy() *Taxonomy {
-	return &Taxonomy{parent: make(map[string]string), depth: make(map[string]int)}
+	return &Taxonomy{parent: make(map[string]string)}
 }
 
 // AddIsA records child IS-A parent. Re-adding overwrites the previous parent.
 func (t *Taxonomy) AddIsA(child, parent string) {
 	t.parent[child] = parent
-	t.depth = nil // invalidate memoized depths
+	t.chains, t.depth = nil, nil // invalidate memoized chains and depths
 }
 
 // Parent returns the direct hypernym of c, or "" when c is a root or unknown.
 func (t *Taxonomy) Parent(c string) string { return t.parent[c] }
 
+// Precompute memoizes the hypernym chain and depth of every concept in the
+// graph — children and parents alike, so every element of every chain is
+// covered. Call it after the last AddIsA; subsequent similarity queries
+// then allocate nothing.
+func (t *Taxonomy) Precompute() {
+	t.chains, t.depth = nil, nil // force the walking paths below
+	chains := make(map[string][]string, 2*len(t.parent))
+	depth := make(map[string]int, 2*len(t.parent))
+	add := func(c string) {
+		if _, ok := chains[c]; ok {
+			return
+		}
+		ch := t.Ancestors(c)
+		chains[c] = ch
+		depth[c] = len(ch) - 1
+	}
+	for child, parent := range t.parent {
+		add(child)
+		add(parent)
+	}
+	t.chains, t.depth = chains, depth
+}
+
 // Ancestors returns the hypernym chain of c starting with c itself.
-// Cycles are broken defensively.
+// Cycles are broken defensively. After Precompute the chain of a known
+// concept is the shared memoized slice — callers must not mutate it.
 func (t *Taxonomy) Ancestors(c string) []string {
+	if t.chains != nil {
+		if ch, ok := t.chains[c]; ok {
+			return ch
+		}
+	}
 	var out []string
 	seen := make(map[string]bool)
 	for c != "" && !seen[c] {
@@ -38,11 +77,39 @@ func (t *Taxonomy) Ancestors(c string) []string {
 
 // Depth returns the number of IS-A hops from c to its root (root depth 0).
 // Unknown concepts have depth 0.
-func (t *Taxonomy) Depth(c string) int { return len(t.Ancestors(c)) - 1 }
+func (t *Taxonomy) Depth(c string) int {
+	if t.depth != nil && c != "" {
+		return t.depth[c] // unknown concepts are absent and read back 0
+	}
+	return len(t.Ancestors(c)) - 1
+}
 
 // LCA returns the lowest common ancestor of a and b, or "" when their chains
 // are disjoint (including when either is unknown to the taxonomy).
 func (t *Taxonomy) LCA(a, b string) string {
+	if t.chains != nil {
+		ca, okA := t.chains[a]
+		cb, okB := t.chains[b]
+		if !okA || !okB {
+			// An unknown concept's chain is just itself, and it cannot
+			// appear inside any memoized chain (every chain element is a
+			// memo key), so the only possible common ancestor is a == b.
+			if a == b && a != "" {
+				return a
+			}
+			return ""
+		}
+		// First element of b's chain present in a's chain — the same scan
+		// order as the map-based fallback below, without the map.
+		for _, c := range cb {
+			for _, x := range ca {
+				if x == c {
+					return c
+				}
+			}
+		}
+		return ""
+	}
 	onA := make(map[string]bool)
 	for _, c := range t.Ancestors(a) {
 		onA[c] = true
@@ -158,5 +225,6 @@ func DefaultTaxonomy() *Taxonomy {
 	}
 	t.AddIsA("positive", "polarity")
 	t.AddIsA("negative", "polarity")
+	t.Precompute()
 	return t
 }

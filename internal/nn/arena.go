@@ -1,0 +1,88 @@
+package nn
+
+import "saccs/internal/mat"
+
+// Arena is a bump allocator for the inference fast path: vectors, vector
+// headers, and int scratch are carved out of a few flat backing arrays that
+// one Reset recycles wholesale. A warm arena makes an entire forward pass
+// (embeddings → transformer blocks → BiLSTM → projection → Viterbi)
+// allocation-free — the per-decode cost the training-path Forward methods
+// pay in fresh makes becomes three pointer bumps.
+//
+// Ownership contract: every slice returned by Vec, Seq, or Ints belongs to
+// the arena and is valid only until the next Reset. An Arena serves exactly
+// one goroutine at a time; callers that share arenas across goroutines
+// (tagger.Model, bert.Model) recycle them through a sync.Pool.
+//
+// Growth never invalidates outstanding slices: when a backing array is
+// exhausted the arena allocates a larger one and leaves the old array to the
+// slices already handed out. After one full pass the arena has seen the peak
+// demand and subsequent Reset/alloc cycles touch no allocator at all.
+type Arena struct {
+	floats []float64
+	nf     int
+	vecs   []mat.Vec
+	nv     int
+	ints   []int
+	ni     int
+}
+
+// Reset recycles the arena: every previously returned slice is dead and the
+// backing arrays are reused from the start.
+func (a *Arena) Reset() { a.nf, a.nv, a.ni = 0, 0, 0 }
+
+// Vec returns a zeroed vector of length n backed by the arena.
+func (a *Arena) Vec(n int) mat.Vec {
+	if a.nf+n > len(a.floats) {
+		a.floats = make([]float64, grow(len(a.floats), n, 1024))
+		a.nf = 0
+	}
+	v := a.floats[a.nf : a.nf+n : a.nf+n]
+	a.nf += n
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// Seq returns a slice of n nil vector headers backed by the arena — the
+// []mat.Vec sequences the kernels thread between stages.
+func (a *Arena) Seq(n int) []mat.Vec {
+	if a.nv+n > len(a.vecs) {
+		a.vecs = make([]mat.Vec, grow(len(a.vecs), n, 64))
+		a.nv = 0
+	}
+	s := a.vecs[a.nv : a.nv+n : a.nv+n]
+	a.nv += n
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// Ints returns a zeroed int slice of length n backed by the arena.
+func (a *Arena) Ints(n int) []int {
+	if a.ni+n > len(a.ints) {
+		a.ints = make([]int, grow(len(a.ints), n, 256))
+		a.ni = 0
+	}
+	s := a.ints[a.ni : a.ni+n : a.ni+n]
+	a.ni += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// grow picks the next backing-array size: doubled, at least min, and always
+// enough for the pending request.
+func grow(cur, need, min int) int {
+	n := cur * 2
+	if n < min {
+		n = min
+	}
+	if n < need {
+		n = need
+	}
+	return n
+}

@@ -28,6 +28,12 @@ func (e *Embedding) Lookup(id int) mat.Vec {
 	return e.Table.W.Row(clampID(id, e.VocabSize)).Clone()
 }
 
+// LookupInto copies the embedding row for id into dst without allocating —
+// the inference-path counterpart of Lookup.
+func (e *Embedding) LookupInto(dst mat.Vec, id int) {
+	copy(dst, e.Table.W.Row(clampID(id, e.VocabSize)))
+}
+
 // LookupSeq embeds a token id sequence.
 func (e *Embedding) LookupSeq(ids []int) []mat.Vec {
 	out := make([]mat.Vec, len(ids))

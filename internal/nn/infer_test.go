@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"saccs/internal/mat"
+)
+
+func randSeq(rng *rand.Rand, n, dim int) []mat.Vec {
+	xs := make([]mat.Vec, n)
+	for i := range xs {
+		v := mat.NewVec(dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		xs[i] = v
+	}
+	return xs
+}
+
+// The inference kernels promise bit-identical results to their training
+// twins — not approximately equal: the extraction cache and the differential
+// oracles compare decoded label paths exactly, so any reordering of float
+// operations would surface as a correctness bug, not a tolerance issue.
+
+func TestLSTMInferSeqMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := NewLSTM(rng, "t", 6, 5)
+	xs := randSeq(rng, 9, 6)
+	want, _ := l.Forward(xs)
+	var a Arena
+	got := l.InferSeq(xs, &a)
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("h[%d][%d]: %v != %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestBiLSTMInferSeqMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	b := NewBiLSTM(rng, "t", 6, 4)
+	for _, n := range []int{1, 2, 7} {
+		xs := randSeq(rng, n, 6)
+		want, _ := b.Forward(xs)
+		var a Arena
+		got := b.InferSeq(xs, &a)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("n=%d h[%d][%d]: %v != %v", n, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestLinearInferSeqMatchesForwardSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	l := NewLinear(rng, "t", 5, 7)
+	xs := randSeq(rng, 6, 5)
+	want := l.ForwardSeq(xs)
+	var a Arena
+	got := l.InferSeq(xs, &a)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("y[%d][%d]: %v != %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestGELUIntoMatchesGELUVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := randSeq(rng, 1, 16)[0]
+	want := GELUVec(x)
+	got := mat.NewVec(len(x))
+	GELUInto(got, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("gelu[%d]: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodeArenaMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	c := NewCRF(rng, "t", 5)
+	for _, n := range []int{0, 1, 2, 12} {
+		emissions := randSeq(rng, n, 5)
+		want := c.Decode(emissions)
+		var a Arena
+		got := c.DecodeArena(emissions, &a)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: length %d vs %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d path[%d]: %d != %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDecodeArenaRespectsConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	c := NewCRF(rng, "t", 4)
+	// Only transitions i -> (i+1)%4 allowed; only label 0 may start.
+	c.SetConstraints(
+		func(a, b int) bool { return b == (a+1)%4 },
+		func(l int) bool { return l == 0 },
+	)
+	emissions := randSeq(rng, 8, 4)
+	var a Arena
+	path := c.DecodeArena(emissions, &a)
+	if path[0] != 0 {
+		t.Fatalf("invalid start %d", path[0])
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i] != (path[i-1]+1)%4 {
+			t.Fatalf("invalid transition %d -> %d", path[i-1], path[i])
+		}
+	}
+}
+
+func TestDecodeArenaZeroAllocsWhenWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := NewCRF(rng, "t", 5)
+	emissions := randSeq(rng, 20, 5)
+	var a Arena
+	c.DecodeArena(emissions, &a) // warm the arena
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Reset()
+		c.DecodeArena(emissions, &a)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm DecodeArena allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestArenaReuseAndGrowth(t *testing.T) {
+	var a Arena
+	v1 := a.Vec(8)
+	for i := range v1 {
+		v1[i] = 1
+	}
+	// Growth must not corrupt v1: the old backing array stays with it.
+	v2 := a.Vec(100_000)
+	_ = v2
+	for i := range v1 {
+		if v1[i] != 1 {
+			t.Fatal("growth clobbered an outstanding slice")
+		}
+	}
+	a.Reset()
+	v3 := a.Vec(8)
+	for i := range v3 {
+		if v3[i] != 0 {
+			t.Fatal("Vec after Reset not zeroed")
+		}
+	}
+	s := a.Seq(4)
+	for _, h := range s {
+		if h != nil {
+			t.Fatal("Seq headers not nil")
+		}
+	}
+	is := a.Ints(4)
+	for _, x := range is {
+		if x != 0 {
+			t.Fatal("Ints not zeroed")
+		}
+	}
+}

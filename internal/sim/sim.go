@@ -24,8 +24,10 @@ var stopwords = map[string]bool{
 }
 
 func contentWords(phrase string) []string {
-	var out []string
-	for _, w := range strings.Fields(strings.ToLower(phrase)) {
+	// Filter in place over the Fields slice — no second allocation.
+	ws := strings.Fields(strings.ToLower(phrase))
+	out := ws[:0]
+	for _, w := range ws {
 		if !stopwords[w] {
 			out = append(out, w)
 		}
@@ -117,13 +119,18 @@ func (c *Conceptual) wordPolarity(w string) int {
 			return p
 		}
 	}
-	for _, a := range c.Tax.Ancestors(w) {
+	// Walk parent links directly instead of materializing the ancestor
+	// chain. The hop bound replaces Ancestors' seen-map cycle guard: a cycle
+	// never contains "positive"/"negative" (their chains terminate at
+	// "polarity"), so a bounded walk returns the same 0 a full visit would.
+	for a, hops := w, 0; a != "" && hops < 256; hops++ {
 		switch a {
 		case "positive":
 			return 1
 		case "negative":
 			return -1
 		}
+		a = c.Tax.Parent(a)
 	}
 	return 0
 }

@@ -1,0 +1,96 @@
+package tagger
+
+import (
+	"math/rand"
+	"testing"
+
+	"saccs/internal/bert"
+	"saccs/internal/tokenize"
+)
+
+// TestPredictAllocsRegression pins the allocation count of a warm Predict.
+// The whole decode — MiniBERT forward, BiLSTM, projection, Viterbi — runs on
+// one pooled arena, so the only steady-state allocations are the returned
+// label slice and pool bookkeeping. The previous implementation routed
+// through the training Forward paths and paid hundreds of allocations (and
+// hundreds of kilobytes) per sentence.
+func TestPredictAllocsRegression(t *testing.T) {
+	v := tokenize.NewVocab()
+	v.AddAll([]string{"the", "food", "is", "delicious", "staff", "friendly", "and", "service", "slow", "."})
+	enc := bert.New(rand.New(rand.NewSource(31)), bert.Config{Layers: 2, Heads: 4, Dim: 32, FFDim: 48, MaxLen: 40}, v)
+	m := New(enc, DefaultConfig())
+	tokens := []string{"the", "staff", "is", "friendly", "and", "the", "service", "is", "slow", "."}
+	for i := 0; i < 3; i++ {
+		m.Predict(tokens) // warm the pooled arenas
+	}
+	allocs := testing.AllocsPerRun(100, func() { m.Predict(tokens) })
+	if allocs > 16 {
+		t.Fatalf("warm Predict allocates %v times per call, want <= 16", allocs)
+	}
+}
+
+// TestPredictMatchesTrainingForward verifies the inference-kernel Predict
+// decodes the exact label path the training-path pipeline (bilstm.Forward →
+// proj.ForwardSeq → crf.Decode) produces — the bit-identity contract behind
+// the extraction cache and golden snapshots.
+func TestPredictMatchesTrainingForward(t *testing.T) {
+	v := tokenize.NewVocab()
+	v.AddAll([]string{"the", "food", "is", "delicious", "staff", "friendly", "and", "service", "slow", "."})
+	enc := bert.New(rand.New(rand.NewSource(32)), bert.Config{Layers: 1, Heads: 2, Dim: 16, FFDim: 24, MaxLen: 40}, v)
+	m := New(enc, DefaultConfig())
+	for _, tokens := range [][]string{
+		{"the", "food", "is", "delicious"},
+		{"staff"},
+		{"the", "staff", "is", "friendly", "and", "the", "food", "is", "delicious", "."},
+	} {
+		embeds := enc.InferTokens(tokens)
+		hs, _ := m.bilstm.Forward(embeds)
+		emissions := m.proj.ForwardSeq(hs)
+		wantPath := m.crf.Decode(emissions)
+		want := make([]tokenize.Label, len(tokens))
+		for i, l := range wantPath {
+			want[i] = tokenize.Label(l)
+		}
+		got := m.Predict(tokens)
+		if len(got) != len(want) {
+			t.Fatalf("%v: length %d vs %d", tokens, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: label[%d] %v != %v", tokens, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGenerationChangesOnTrain verifies the cache-keying contract: a model's
+// generation is stable across Predicts, changes on every Train, and is
+// never shared between two models.
+func TestGenerationChangesOnTrain(t *testing.T) {
+	d := smallDataset(t)
+	enc := testEncoder(t, d)
+	m := New(enc, fastCfg())
+	g0 := m.Generation()
+	if m.Generation() != g0 {
+		t.Fatal("generation changed without training")
+	}
+	m.Predict(d.Test[0].Tokens)
+	if m.Generation() != g0 {
+		t.Fatal("Predict changed the generation")
+	}
+	m.Train(d.Train[:capN(len(d.Train), 10)])
+	g1 := m.Generation()
+	if g1 == g0 {
+		t.Fatal("Train did not change the generation")
+	}
+	other := New(enc, fastCfg())
+	if other.Generation() == g1 || other.Generation() == g0 {
+		t.Fatal("two models share a generation")
+	}
+	o := NewOpineDB(enc, fastCfg())
+	og := o.Generation()
+	o.Train(d.Train[:capN(len(d.Train), 5)])
+	if o.Generation() == og {
+		t.Fatal("OpineDB Train did not change the generation")
+	}
+}

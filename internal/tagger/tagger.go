@@ -16,6 +16,8 @@ package tagger
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"saccs/internal/datasets"
@@ -38,6 +40,15 @@ type Encoder interface {
 // Train always uses EncodeTokens — fine-tuning needs the encoder's caches.
 type InferEncoder interface {
 	InferTokens(tokens []string) []mat.Vec
+}
+
+// ArenaEncoder is an encoder with an arena-backed reentrant forward pass;
+// *bert.Model satisfies it. When the tagger's encoder implements it, Predict
+// threads one pooled arena through the entire pipeline (embeddings →
+// transformer → BiLSTM → projection → Viterbi) and the whole decode is
+// allocation-free once the arena is warm.
+type ArenaEncoder interface {
+	InferTokensArena(tokens []string, a *nn.Arena) []mat.Vec
 }
 
 // TrainableEncoder is an encoder the tagger can fine-tune end-to-end;
@@ -95,6 +106,19 @@ func DefaultConfig() Config {
 	}
 }
 
+// genCounter hands out process-unique weight generations. Every freshly
+// built tagger and every (re)training epoch boundary draws a new value, so
+// two distinct weight states never share a generation — the invariant the
+// extraction cache's generation keying rests on.
+var genCounter atomic.Uint64
+
+func nextGen() uint64 { return genCounter.Add(1) }
+
+// arenaPool recycles decode arenas across Predict calls and goroutines.
+// After each arena's first few decodes it has seen peak demand and Predict
+// stops allocating.
+var arenaPool = sync.Pool{New: func() any { return new(nn.Arena) }}
+
 // Model is the SACCS tagging architecture of Fig. 3.
 type Model struct {
 	enc    Encoder
@@ -103,6 +127,7 @@ type Model struct {
 	proj   *nn.Linear
 	crf    *nn.CRF
 	cfg    Config
+	gen    atomic.Uint64
 
 	// Obs, when set before Train/Predict, records per-epoch training
 	// duration and loss plus per-call Viterbi decode latency. Nil (the
@@ -125,8 +150,16 @@ func New(enc Encoder, cfg Config) *Model {
 		func(a, b int) bool { return tokenize.ValidTransition(tokenize.Label(a), tokenize.Label(b)) },
 		func(l int) bool { return tokenize.ValidStart(tokenize.Label(l)) },
 	)
+	m.gen.Store(nextGen())
 	return m
 }
+
+// Generation identifies the current weight state. It changes whenever the
+// weights may have changed — on construction and at both the start and end
+// of Train, so results computed while a retrain is in flight are never
+// attributed to a servable generation. Callers (the extraction cache) treat
+// equal generations as "bit-identical weights".
+func (m *Model) Generation() uint64 { return m.gen.Load() }
 
 // Params returns the trainable tensors (the encoder stays frozen).
 func (m *Model) Params() []*nn.Param {
@@ -225,6 +258,11 @@ func snapshotGrads(params []*nn.Param) [][]float64 {
 // cached; with FineTuneEncoder they are recomputed per step and the tagging
 // loss flows back into the encoder at EncoderLR.
 func (m *Model) Train(examples []datasets.Example) float64 {
+	// Bump the generation before touching any weight and again after the
+	// last update: a Predict that overlaps Train sees different generations
+	// before and after its forward pass, so its result is never cached.
+	m.gen.Store(nextGen())
+	defer m.gen.Store(nextGen())
 	opt := nn.NewAdam(m.cfg.LR)
 	m.drop.Train = true
 
@@ -327,21 +365,37 @@ func infer(enc Encoder, tokens []string) []mat.Vec {
 // (when the encoder implements InferEncoder, as *bert.Model does) neither
 // does the encoder forward pass — so concurrent goroutines may call it on
 // one trained model.
+//
+// Predict runs entirely on inference kernels: a pooled arena is threaded
+// through the encoder (when it implements ArenaEncoder), the BiLSTM, the
+// projection, and the Viterbi decode, replacing the training-path Forward
+// calls (and their backward caches) the pipeline previously paid for on
+// every decode. The arithmetic is identical to the training forward passes,
+// so decoded labels are bit-for-bit unchanged.
 func (m *Model) Predict(tokens []string) []tokenize.Label {
 	if m.Obs != nil {
 		defer m.Obs.Histogram("tagger.predict").ObserveSince(time.Now())
 	}
-	embeds := infer(m.enc, tokens)
-	if len(embeds) == 0 {
-		return make([]tokenize.Label, len(tokens))
+	a := arenaPool.Get().(*nn.Arena)
+	a.Reset()
+	var embeds []mat.Vec
+	if ae, ok := m.enc.(ArenaEncoder); ok {
+		embeds = ae.InferTokensArena(tokens, a)
+	} else {
+		embeds = infer(m.enc, tokens)
 	}
-	hs, _ := m.bilstm.Forward(embeds)
-	emissions := m.proj.ForwardSeq(hs)
-	path := m.crf.Decode(emissions)
 	out := make([]tokenize.Label, len(tokens))
+	if len(embeds) == 0 {
+		arenaPool.Put(a)
+		return out
+	}
+	hs := m.bilstm.InferSeq(embeds, a)
+	emissions := m.proj.InferSeq(hs, a)
+	path := m.crf.DecodeArena(emissions, a)
 	for i, l := range path {
 		out[i] = tokenize.Label(l)
 	}
+	arenaPool.Put(a)
 	return out
 }
 
@@ -362,20 +416,28 @@ type OpineDB struct {
 	enc  Encoder
 	proj *nn.Linear
 	cfg  Config
+	gen  atomic.Uint64
 }
 
 // NewOpineDB builds the baseline over a (frozen) encoder.
 func NewOpineDB(enc Encoder, cfg Config) *OpineDB {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	return &OpineDB{
+	o := &OpineDB{
 		enc:  enc,
 		proj: nn.NewLinear(rng, "opinedb.proj", enc.EmbeddingDim(), int(tokenize.NumLabels)),
 		cfg:  cfg,
 	}
+	o.gen.Store(nextGen())
+	return o
 }
+
+// Generation identifies the current weight state (see Model.Generation).
+func (o *OpineDB) Generation() uint64 { return o.gen.Load() }
 
 // Train fits the classifier and returns the final epoch's mean loss.
 func (o *OpineDB) Train(examples []datasets.Example) float64 {
+	o.gen.Store(nextGen())
+	defer o.gen.Store(nextGen())
 	opt := nn.NewAdam(o.cfg.LR)
 	params := o.proj.Params()
 	var last float64

@@ -33,6 +33,7 @@ import (
 	"saccs/internal/core"
 	"saccs/internal/datasets"
 	"saccs/internal/experiments"
+	"saccs/internal/extcache"
 	"saccs/internal/index"
 	"saccs/internal/lexicon"
 	"saccs/internal/obs"
@@ -79,19 +80,28 @@ type Config struct {
 	// limit over a long conversational session (DefaultConfig: 4096;
 	// 0 = unbounded).
 	HistoryLimit int
+	// ExtractCacheSize bounds the extraction cache: a sharded map from
+	// normalized token sequence to extracted tags, keyed by the tagger's
+	// weight generation, that lets repeated sentences (recurring utterances,
+	// duplicated review sentences during indexing) skip the neural decode
+	// entirely. Entries stop matching the moment the tagger retrains, so a
+	// cached answer is always bit-identical to a fresh decode
+	// (DefaultConfig: 4096 entries; 0 disables caching).
+	ExtractCacheSize int
 }
 
 // DefaultConfig returns the recommended configuration.
 func DefaultConfig() Config {
 	return Config{
-		Domain:        "restaurants",
-		TrainingScale: "fast",
-		ThetaIndex:    0.55,
-		ThetaFilter:   0.45,
-		TopK:          10,
-		Adversarial:   true,
-		Epsilon:       0.2,
-		HistoryLimit:  4096,
+		Domain:           "restaurants",
+		TrainingScale:    "fast",
+		ThetaIndex:       0.55,
+		ThetaFilter:      0.45,
+		TopK:             10,
+		Adversarial:      true,
+		Epsilon:          0.2,
+		HistoryLimit:     4096,
+		ExtractCacheSize: 4096,
 	}
 }
 
@@ -176,9 +186,11 @@ type Response struct {
 // off to the side and publish it with one atomic pointer swap; queries
 // already in flight keep the generation they pinned, and the next request
 // sees the new one. The extraction pipeline (MiniBERT forward pass,
-// BiLSTM-CRF decode) is reentrant — per-call scratch buffers come from a
-// sync.Pool. The cost of the design is memory, not latency: while a rebuild
-// overlaps queries, up to two index generations are live at once.
+// BiLSTM-CRF decode) is reentrant — per-call scratch arenas come from a
+// sync.Pool, and repeated sentences are served from a sharded extraction
+// cache keyed by the tagger's weight generation (Config.ExtractCacheSize).
+// The cost of the design is memory, not latency: while a rebuild overlaps
+// queries, up to two index generations are live at once.
 type Client struct {
 	cfg     Config
 	domain  *lexicon.Domain
@@ -252,12 +264,15 @@ func New(cfg Config) (*Client, error) {
 	idx.SetObserver(o)
 	hist := index.NewHistory()
 	hist.SetCap(cfg.HistoryLimit)
+	cache := extcache.New(cfg.ExtractCacheSize)
+	cache.SetObserver(o)
 	c := &Client{
 		cfg:    cfg,
 		domain: domain,
 		extr: &core.Extractor{
 			Tagger: tg,
 			Pairer: pairing.Tree{Lex: parse.DomainLexicon(domain), FromOpinions: true},
+			Cache:  cache,
 			Obs:    o,
 		},
 		measure: measure,
