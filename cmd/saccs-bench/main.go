@@ -25,10 +25,15 @@
 // warm pass's hit ratio, and end-to-end repeated-utterance query QPS with
 // the cache off and on. Each QPS pass runs for -parallel-dur.
 //
+// The "latency" section runs a closed-loop end-to-end query pass with
+// request telemetry attached and reports the latency distribution — p50,
+// p90, p99, p999 from the high-resolution log-linear histogram — alongside
+// the pass's QPS, so BENCH.json tracks tail latency and not just throughput.
+//
 // Usage:
 //
 //	saccs-bench [-scale fast|paper]
-//	            [-only table2,table3,table4,table5,figures,stages,parallel,contention,cache]
+//	            [-only table2,table3,table4,table5,figures,stages,parallel,contention,cache,latency]
 //	            [-parallel N] [-parallel-dur 2s]
 //	            [-readers N] [-contention-dur 2s]
 //	            [-bench-out BENCH.json] [-metrics-addr :9090]
@@ -63,7 +68,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "fast", "experiment scale: fast or paper")
-	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures,stages,parallel,contention,cache")
+	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures,stages,parallel,contention,cache,latency")
 	benchOut := flag.String("bench-out", "BENCH.json", "file for the machine-readable benchmark results (empty disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
 	parallelN := flag.Int("parallel", runtime.GOMAXPROCS(0), "goroutines for the parallel query benchmark")
@@ -123,8 +128,9 @@ func main() {
 	run("parallel", func() { parallelBenchmarks(o, doc, *parallelN, *parallelDur) })
 	run("contention", func() { contentionBenchmarks(o, doc, *readersN, *contentionDur) })
 	run("cache", func() { cacheBenchmarks(o, doc, *parallelDur) })
+	run("latency", func() { latencyBenchmarks(o, doc, *parallelDur) })
 
-	if *benchOut != "" && (len(doc.Stages) > 0 || len(doc.Parallel) > 0 || len(doc.Contention) > 0 || doc.Cache != nil) {
+	if *benchOut != "" && (len(doc.Stages) > 0 || len(doc.Parallel) > 0 || len(doc.Contention) > 0 || doc.Cache != nil || doc.Latency != nil) {
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
@@ -137,8 +143,12 @@ func main() {
 		if doc.Cache != nil {
 			cacheRows = len(doc.Cache.Results)
 		}
-		fmt.Printf("wrote %s (%d stages, %d parallel passes, %d contention passes, %d cache rows)\n",
-			*benchOut, len(doc.Stages), len(doc.Parallel), len(doc.Contention), cacheRows)
+		latency := "no latency section"
+		if doc.Latency != nil {
+			latency = "latency quantiles"
+		}
+		fmt.Printf("wrote %s (%d stages, %d parallel passes, %d contention passes, %d cache rows, %s)\n",
+			*benchOut, len(doc.Stages), len(doc.Parallel), len(doc.Contention), cacheRows, latency)
 	}
 }
 
@@ -188,6 +198,22 @@ type cacheSection struct {
 	QPSSpeedup float64 `json:"qps_speedup"`
 }
 
+// latencySection is the tail-latency benchmark's BENCH.json entry: the
+// end-to-end query latency distribution read from the high-resolution
+// log-linear histogram after a closed-loop pass.
+type latencySection struct {
+	Queries int64   `json:"queries"`
+	Seconds float64 `json:"seconds"`
+	QPS     float64 `json:"qps"`
+	// Quantiles are in nanoseconds, accurate to the histogram's 1/32
+	// relative error.
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+	MeanNs float64 `json:"mean_ns"`
+}
+
 // benchFile is the BENCH.json document.
 type benchFile struct {
 	Command    string             `json:"command"`
@@ -195,6 +221,7 @@ type benchFile struct {
 	Parallel   []parallelResult   `json:"parallel,omitempty"`
 	Contention []contentionResult `json:"contention,omitempty"`
 	Cache      *cacheSection      `json:"cache,omitempty"`
+	Latency    *latencySection    `json:"latency,omitempty"`
 }
 
 // benchPipeline builds the fast pipeline the stage and parallel benchmarks
@@ -527,4 +554,58 @@ func cacheBenchmarks(o *obs.Observer, doc *benchFile, dur time.Duration) {
 	fmt.Printf("repeated-utterance query QPS: cold %.1f, warm %.1f (%.1fx)\n",
 		sec.ColdQPS, sec.WarmQPS, sec.QPSSpeedup)
 	doc.Cache = sec
+}
+
+// latencyBenchmarks measures the end-to-end query latency distribution: it
+// attaches request telemetry, runs a single-goroutine closed loop of
+// Service.Query calls for dur, and reads p50/p90/p99/p999 from the
+// log-linear request.latency.query histogram — the same histogram /metrics
+// exports — so BENCH.json tracks tail latency alongside throughput.
+func latencyBenchmarks(o *obs.Observer, doc *benchFile, dur time.Duration) {
+	svc, _, _ := buildBenchPipeline(o)
+	tel := obs.NewTelemetry(obs.TelemetryConfig{Metrics: o.Metrics})
+	o.SetTelemetry(tel)
+	defer func() {
+		o.SetTelemetry(nil) // leave the shared pipeline telemetry-free for other sections
+		tel.Close()
+	}()
+
+	utterances := []string{
+		"I want an Italian restaurant in Montreal with delicious food",
+		"somewhere with friendly staff and a quiet atmosphere",
+		"good food and attentive waiters please",
+		"a place with creative cooking and amazing pizza",
+	}
+	h := o.Metrics.HDR("request.latency.query")
+	before := h.Count()
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for i := 0; time.Now().Before(deadline); i++ {
+		svc.Query(utterances[i%len(utterances)])
+	}
+	elapsed := time.Since(start).Seconds()
+
+	snap := h.Snapshot()
+	sec := &latencySection{
+		Queries: snap.Count - before,
+		Seconds: elapsed,
+		P50Ns:   float64(snap.Quantile(0.5)),
+		P90Ns:   float64(snap.Quantile(0.9)),
+		P99Ns:   float64(snap.Quantile(0.99)),
+		P999Ns:  float64(snap.Quantile(0.999)),
+		MeanNs:  float64(snap.Mean()),
+	}
+	if elapsed > 0 {
+		sec.QPS = float64(sec.Queries) / elapsed
+	}
+	fmt.Printf("%-10s %10s %12s %12s %12s %12s %12s\n",
+		"queries", "qps", "p50", "p90", "p99", "p999", "mean")
+	fmt.Printf("%-10d %10.1f %12s %12s %12s %12s %12s\n",
+		sec.Queries, sec.QPS,
+		time.Duration(sec.P50Ns).Round(time.Microsecond),
+		time.Duration(sec.P90Ns).Round(time.Microsecond),
+		time.Duration(sec.P99Ns).Round(time.Microsecond),
+		time.Duration(sec.P999Ns).Round(time.Microsecond),
+		time.Duration(sec.MeanNs).Round(time.Microsecond))
+	doc.Latency = sec
 }

@@ -11,11 +11,12 @@
 //	:reindex     run an indexing round over the history (Fig. 1's loop)
 //	:stats       dump the runtime metrics snapshot (counters, gauges, stage latencies)
 //	:trace       print the span tree of the most recent query
+//	:slow        print the worst-K slow-query log (trace IDs, stage timings)
 //	:quit        exit
 //
-// With -metrics-addr the process also serves the metrics registry in
-// Prometheus text format at /metrics and the pprof handlers under
-// /debug/pprof on the given address.
+// With -metrics-addr the process also serves /metrics (Prometheus text),
+// /healthz + /readyz, /debug/slow (the slow-query log as JSON), and the
+// pprof handlers under /debug/pprof on the given address.
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"saccs/internal/core"
 	"saccs/internal/datasets"
@@ -37,19 +39,29 @@ import (
 )
 
 func main() {
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/slow and /debug/pprof on this address (e.g. :9090)")
+	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "queries at or above this duration enter the slow-query log (:slow)")
 	flag.Parse()
 
 	o := obs.NewObserver()
 	ring := obs.NewRingSink(512)
 	o.SetTracer(obs.NewTracer(ring))
+	// HeadSampleN 1 keeps :trace working for every query; the threshold only
+	// gates the slow-query log.
+	o.SetTelemetry(obs.NewTelemetry(obs.TelemetryConfig{
+		Metrics:       o.Metrics,
+		HeadSampleN:   1,
+		SlowThreshold: *slowThreshold,
+		RuntimeEvery:  10 * time.Second,
+	}))
 	if *metricsAddr != "" {
-		srv, err := obs.Serve(*metricsAddr, o.Metrics)
+		srv, err := obs.ServeObserver(*metricsAddr, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("metrics: http://%s/metrics  pprof: http://%s/debug/pprof\n", srv.Addr, srv.Addr)
+		fmt.Printf("metrics: http://%s/metrics  slow: http://%s/debug/slow  pprof: http://%s/debug/pprof\n",
+			srv.Addr, srv.Addr, srv.Addr)
 	}
 
 	fmt.Println("setting up: world + extractor (this takes a few seconds)...")
@@ -101,6 +113,22 @@ func main() {
 				obs.WriteTree(os.Stdout, obs.Subtree(spans, root.ID))
 			} else {
 				fmt.Println("no spans recorded yet — run a query first")
+			}
+		case line == ":slow":
+			slow := o.Telemetry().SlowQueries()
+			if len(slow) == 0 {
+				fmt.Printf("no slow queries recorded (threshold %s)\n", *slowThreshold)
+				break
+			}
+			for _, ev := range slow {
+				fmt.Printf("%s  %-8s %10s  status=%s gen=%d tags=%d results=%d\n",
+					ev.Trace, ev.Kind, ev.Duration.Round(time.Microsecond), ev.Status,
+					ev.Generation, ev.Tags, ev.Results)
+				for _, name := range obs.StageNames {
+					if d, ok := ev.Stage[name]; ok {
+						fmt.Printf("    %-16s %10s\n", name, d.Round(time.Microsecond))
+					}
+				}
 			}
 		default:
 			resp := svc.Query(line)

@@ -29,12 +29,13 @@ func main() {
 	tagsFlag := flag.String("tags", "", "comma-separated tags to index (default: the 18 canonical feature tags)")
 	gold := flag.Bool("gold", false, "use gold review annotations instead of the neural extractor")
 	top := flag.Int("top", 5, "entities shown per tag")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz and /debug/pprof on this address (e.g. :9090)")
 	flag.Parse()
 
 	o := obs.NewObserver()
+	o.SetTelemetry(obs.NewTelemetry(obs.TelemetryConfig{Metrics: o.Metrics}))
 	if *metricsAddr != "" {
-		srv, err := obs.Serve(*metricsAddr, o.Metrics)
+		srv, err := obs.ServeObserver(*metricsAddr, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
 			os.Exit(1)

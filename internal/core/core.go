@@ -518,18 +518,21 @@ func (s *Service) QueryCtx(ctx context.Context, utterance string) (Response, err
 	if s.Obs != nil {
 		t0 = time.Now()
 	}
-	root := s.Obs.StartSpan("query").Set("utterance_len", len(utterance))
+	ctx, req := s.Obs.StartRequest(ctx, "query")
+	root := req.Root().Set("utterance_len", len(utterance))
+	req.Ev.UtteranceLen = len(utterance)
 	fail := func(err error) (Response, error) {
 		if s.Obs != nil {
 			s.Obs.Counter("query.interrupted.total").Inc()
 		}
-		root.SetStatus(err).End()
+		req.Finish(err)
 		return Response{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		return fail(err)
 	}
 	snap := s.Index.Current()
+	req.Ev.Generation = snap.Generation()
 
 	st := obs.BeginStage(s.Obs, root, "parse")
 	intent := search.ParseUtterance(utterance)
@@ -574,7 +577,8 @@ func (s *Service) QueryCtx(ctx context.Context, utterance string) (Response, err
 		s.Obs.Histogram("query.latency").ObserveSince(t0)
 	}
 	root.Set("tags", len(tags)).Set("unknown", len(unknown)).Set("results", len(results))
-	root.End()
+	req.Ev.Tags, req.Ev.Unknown, req.Ev.Results = len(tags), len(unknown), len(results)
+	req.Finish(nil)
 	return Response{Intent: intent, Tags: tags, UnknownTags: unknown, Results: results}, nil
 }
 

@@ -79,6 +79,11 @@ type Index struct {
 	// acquire it.
 	publishMu sync.Mutex
 
+	// gens numbers published generations; the counter lives on the Index
+	// (not the snapshot chain) so SetObserver's republication of identical
+	// contents does not consume a number.
+	gens atomic.Uint64
+
 	// Write-side observability (nil when disabled; see SetObserver, which
 	// must be called before concurrent use).
 	o            *obs.Observer
@@ -155,9 +160,17 @@ func (ix *Index) MemoStats() (hits, misses, evictions int64) {
 	return ix.b.Memo().Stats()
 }
 
-// publish installs next as the current generation and returns its key count.
+// publish stamps next with a fresh generation number, installs it as the
+// current generation, and returns its key count. Publication is also the
+// readiness signal: with an observer attached, the service's health flips to
+// ready on the first published generation.
 func (ix *Index) publish(next *Snapshot) int {
+	next.gen = ix.gens.Add(1)
 	ix.snap.Store(next)
+	if ix.o != nil {
+		ix.o.Gauge("index.generation").Set(float64(next.gen))
+		ix.o.MarkReady()
+	}
 	return len(next.order)
 }
 

@@ -35,6 +35,10 @@ type Snapshot struct {
 	tags map[string][]Entry
 	// order preserves insertion order for deterministic iteration.
 	order []string
+	// gen is this generation's publication number, assigned by
+	// Index.publish; 0 only for the initial empty snapshot. Wide events
+	// record it so a slow query can be tied to the exact index state it read.
+	gen uint64
 
 	// Read-side observability (nil when disabled). The instruments are
 	// atomic; recording to them mutates no snapshot state.
@@ -48,6 +52,10 @@ type Snapshot struct {
 // a long scan within a few key comparisons, rare enough to stay off the
 // per-key fast path.
 const simScanCheckEvery = 32
+
+// Generation returns the snapshot's publication number: 0 for the initial
+// empty snapshot, then incrementing with every published generation.
+func (s *Snapshot) Generation() uint64 { return s.gen }
 
 // Has reports whether tag is an index key (§3.2's "t ∈ index.keys").
 func (s *Snapshot) Has(tag string) bool {
@@ -268,6 +276,7 @@ func (s *Snapshot) withObserver(o *obs.Observer) *Snapshot {
 		thetaIndex: s.thetaIndex,
 		tags:       s.tags,
 		order:      s.order,
+		gen:        s.gen,
 	}
 	if o != nil {
 		next.resolveHist = o.Histogram("index.resolve")

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HDR is a log-linear high-dynamic-range latency histogram: each power-of-two
+// major bucket is split into 2^hdrSubBits linear sub-buckets, bounding the
+// relative quantile error at 1/2^hdrSubBits (~3%) across the whole range —
+// unlike the coarse exponential Histogram, whose quantiles are only accurate
+// to a full power of two. Values are nanoseconds; the range covers 1ns up to
+// ~18 minutes before clamping into the final bucket. All methods are atomic,
+// lock-free, and nil-safe.
+type HDR struct {
+	counts [hdrBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+const (
+	// hdrSubBits is the linear precision: 2^5 = 32 sub-buckets per
+	// power-of-two major bucket, so quantiles carry ≤ 1/32 relative error.
+	hdrSubBits = 5
+	hdrSubs    = 1 << hdrSubBits
+	// hdrMajors covers values up to 2^(hdrMajors+hdrSubBits) ns ≈ 18.7 min;
+	// anything larger clamps into the last bucket.
+	hdrMajors  = 35
+	hdrBuckets = (hdrMajors + 1) * hdrSubs
+)
+
+// hdrIndex maps a value to its bucket. Values below hdrSubs land in exact
+// unit-width buckets; above, the top hdrSubBits bits after the leading one
+// select the sub-bucket within the value's power-of-two major.
+func hdrIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < hdrSubs {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 - hdrSubBits
+	idx := (exp+1)*hdrSubs + int(v>>uint(exp)) - hdrSubs
+	if idx >= hdrBuckets {
+		return hdrBuckets - 1
+	}
+	return idx
+}
+
+// hdrBound returns the inclusive upper bound of bucket idx, the value
+// reported for any quantile landing in it.
+func hdrBound(idx int) int64 {
+	if idx < hdrSubs {
+		return int64(idx)
+	}
+	exp := idx/hdrSubs - 1
+	sub := idx % hdrSubs
+	return (int64(hdrSubs+sub+1) << uint(exp)) - 1
+}
+
+// Observe records one duration.
+func (h *HDR) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	n := int64(d)
+	h.counts[hdrIndex(n)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(n)
+}
+
+// ObserveSince records the time elapsed since start.
+func (h *HDR) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *HDR) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile reads the live histogram; see HDRSnapshot.Quantile.
+func (h *HDR) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
+}
+
+// Snapshot copies the histogram's current state.
+func (h *HDR) Snapshot() HDRSnapshot {
+	var s HDRSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c != 0 {
+			s.Counts = append(s.Counts, HDRBucket{Index: i, Count: c})
+		}
+	}
+	return s
+}
+
+// HDRBucket is one non-empty bucket of an HDR snapshot.
+type HDRBucket struct {
+	Index int
+	Count int64
+}
+
+// HDRSnapshot is a point-in-time copy of an HDR histogram, storing only its
+// non-empty buckets.
+type HDRSnapshot struct {
+	Count  int64
+	Sum    int64
+	Counts []HDRBucket
+}
+
+// Quantile returns the upper bound of the bucket holding the q-quantile
+// observation (q in [0,1]), accurate to the histogram's 1/32 relative error.
+// An empty snapshot returns 0.
+func (s HDRSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Counts {
+		seen += b.Count
+		if seen >= rank {
+			return time.Duration(hdrBound(b.Index))
+		}
+	}
+	return time.Duration(hdrBound(s.Counts[len(s.Counts)-1].Index))
+}
+
+// Mean returns the arithmetic mean of the recorded durations.
+func (s HDRSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHDRQuantileAccuracy checks the histogram's quantiles against a sorted
+// reference over a log-uniform workload: every reported quantile must be
+// within the advertised 1/2^hdrSubBits relative error of the exact
+// ceil-rank order statistic.
+func TestHDRQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := &HDR{}
+	const n = 20000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-uniform across ~9 decades, exercising both the exact unit
+		// buckets and the log-linear range.
+		v := int64(1) << uint(rng.Intn(30))
+		v += rng.Int63n(v)
+		vals[i] = v
+		h.Observe(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+	snap := h.Snapshot()
+	if snap.Count != n {
+		t.Fatalf("count: %d, want %d", snap.Count, n)
+	}
+	const relErr = 1.0 / hdrSubs
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		rank := int(q * n)
+		if rank < 1 {
+			rank = 1
+		}
+		exact := vals[rank-1]
+		got := int64(snap.Quantile(q))
+		// The bucket upper bound can only overestimate, by at most the
+		// bucket width (one part in hdrSubs of the value's magnitude).
+		if got < exact || float64(got-exact) > relErr*float64(got)+1 {
+			t.Errorf("q=%g: got %d, exact %d (rel err %.4f > %.4f)",
+				q, got, exact, float64(got-exact)/float64(got), relErr)
+		}
+	}
+	if m := snap.Mean(); m <= 0 {
+		t.Fatalf("mean: %v", m)
+	}
+}
+
+func TestHDRBucketBoundsConsistent(t *testing.T) {
+	// Every value must land in a bucket whose bound is >= the value, and the
+	// previous bucket's bound must be < the value (tightness).
+	// Values up to 2^40-1 land in tight buckets; beyond that they clamp into
+	// the final overflow bucket (checked separately below).
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<39 + 12345, 1<<40 - 1} {
+		idx := hdrIndex(v)
+		if b := hdrBound(idx); b < v {
+			t.Errorf("value %d: bucket %d bound %d < value", v, idx, b)
+		}
+		if idx > 0 {
+			if b := hdrBound(idx - 1); b >= v {
+				t.Errorf("value %d: previous bucket %d bound %d >= value", v, idx-1, b)
+			}
+		}
+	}
+	// Bounds are strictly increasing across the whole range.
+	for i := 1; i < hdrBuckets; i++ {
+		if hdrBound(i) <= hdrBound(i-1) {
+			t.Fatalf("bounds not increasing at %d: %d <= %d", i, hdrBound(i), hdrBound(i-1))
+		}
+	}
+	// Out-of-range values clamp instead of panicking.
+	if idx := hdrIndex(1 << 62); idx != hdrBuckets-1 {
+		t.Fatalf("huge value bucket %d, want clamp to %d", idx, hdrBuckets-1)
+	}
+	if idx := hdrIndex(-5); idx != 0 {
+		t.Fatalf("negative value bucket %d, want 0", idx)
+	}
+}
+
+func TestHDRConcurrentObserve(t *testing.T) {
+	h := &HDR{}
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration((w+1)*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*per {
+		t.Fatalf("count: %d, want %d", snap.Count, workers*per)
+	}
+	var total int64
+	for _, b := range snap.Counts {
+		total += b.Count
+	}
+	if total != workers*per {
+		t.Fatalf("bucket sum: %d, want %d", total, workers*per)
+	}
+}
+
+func TestHDRNilSafe(t *testing.T) {
+	var h *HDR
+	h.Observe(time.Second)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil HDR not inert")
+	}
+	var s HDRSnapshot
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatal("empty snapshot not zero")
+	}
+}

@@ -1,10 +1,65 @@
 package obs
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 )
+
+// Health lifecycle states: a service starts not-ready, becomes ready when
+// its first index snapshot generation is published, and turns permanently
+// not-ready at shutdown.
+const (
+	healthStarting = iota
+	healthReady
+	healthShutdown
+)
+
+// Health is the readiness state machine behind /readyz. All methods are
+// nil-safe and concurrent.
+type Health struct {
+	state atomic.Int32
+}
+
+// NewHealth returns a Health in the starting (not-ready) state.
+func NewHealth() *Health { return &Health{} }
+
+// MarkReady transitions starting → ready; it is a no-op after shutdown, so a
+// late snapshot publication cannot resurrect a draining service.
+func (h *Health) MarkReady() {
+	if h != nil {
+		h.state.CompareAndSwap(healthStarting, healthReady)
+	}
+}
+
+// MarkShutdown makes the service permanently not-ready.
+func (h *Health) MarkShutdown() {
+	if h != nil {
+		h.state.Store(healthShutdown)
+	}
+}
+
+// Ready reports whether the service is serving.
+func (h *Health) Ready() bool {
+	return h != nil && h.state.Load() == healthReady
+}
+
+// State returns "starting", "ready", or "shutdown".
+func (h *Health) State() string {
+	if h == nil {
+		return "starting"
+	}
+	switch h.state.Load() {
+	case healthReady:
+		return "ready"
+	case healthShutdown:
+		return "shutdown"
+	default:
+		return "starting"
+	}
+}
 
 // MetricsHandler serves the registry in Prometheus text format.
 func MetricsHandler(r *Registry) http.Handler {
@@ -27,15 +82,68 @@ func Mux(r *Registry) *http.ServeMux {
 	return mux
 }
 
+// ObserverMux returns the full serving mux for an observer: /metrics and
+// /debug/pprof as in Mux, plus the request-telemetry endpoints — /healthz
+// (liveness: 200 whenever the process can serve HTTP), /readyz (readiness:
+// 200 only between the first snapshot publication and shutdown; without
+// telemetry it reports ready, preserving Mux-era behavior), and /debug/slow
+// (the worst-K slow-query log as JSON, slowest first).
+func ObserverMux(o *Observer) *http.ServeMux {
+	var reg *Registry
+	if o != nil {
+		reg = o.Metrics
+	}
+	mux := Mux(reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tel := o.Telemetry()
+		if tel == nil {
+			_, _ = w.Write([]byte("ready\n"))
+			return
+		}
+		h := tel.Health()
+		if !h.Ready() {
+			http.Error(w, h.State(), http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := o.Telemetry().SlowQueries()
+		if events == nil {
+			events = []Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+	return mux
+}
+
 // Serve starts an HTTP server for Mux(r) on addr (e.g. ":9090") in a
 // background goroutine and returns it; the caller owns shutdown. Server.Addr
 // is set to the bound address, so addr may use port 0.
 func Serve(addr string, r *Registry) (*http.Server, error) {
+	return serveHandler(addr, Mux(r))
+}
+
+// ServeObserver is Serve for the full ObserverMux surface (metrics, pprof,
+// health, slow-query log).
+func ServeObserver(addr string, o *Observer) (*http.Server, error) {
+	return serveHandler(addr, ObserverMux(o))
+}
+
+func serveHandler(addr string, h http.Handler) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Addr: ln.Addr().String(), Handler: Mux(r)}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, nil
 }

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthLifecycle(t *testing.T) {
+	h := NewHealth()
+	if h.Ready() || h.State() != "starting" {
+		t.Fatalf("initial state: %v %s", h.Ready(), h.State())
+	}
+	h.MarkReady()
+	if !h.Ready() || h.State() != "ready" {
+		t.Fatalf("after MarkReady: %v %s", h.Ready(), h.State())
+	}
+	h.MarkShutdown()
+	if h.Ready() || h.State() != "shutdown" {
+		t.Fatalf("after MarkShutdown: %v %s", h.Ready(), h.State())
+	}
+	// A late snapshot publication must not resurrect a draining service.
+	h.MarkReady()
+	if h.Ready() {
+		t.Fatal("MarkReady resurrected a shut-down service")
+	}
+	var nilH *Health
+	nilH.MarkReady()
+	nilH.MarkShutdown()
+	if nilH.Ready() || nilH.State() != "starting" {
+		t.Fatal("nil Health not inert")
+	}
+}
+
+func TestHealthEndpointsLifecycle(t *testing.T) {
+	o, _, tel := newTestObserver(TelemetryConfig{})
+	srv := httptest.NewServer(ObserverMux(o))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Liveness is up from the first byte; readiness waits for a snapshot.
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz while starting: %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Fatalf("readyz while starting: %d %q", code, body)
+	}
+
+	// The first index snapshot publication flips readiness.
+	o.MarkReady()
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz after publish: %d %q", code, body)
+	}
+
+	// Shutdown turns readiness off permanently; liveness stays up.
+	tel.Close()
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "shutdown") {
+		t.Fatalf("readyz after shutdown: %d %q", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after shutdown: %d", code)
+	}
+}
+
+func TestReadyzWithoutTelemetry(t *testing.T) {
+	o := NewObserver()
+	srv := httptest.NewServer(ObserverMux(o))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("telemetry-less readyz: %d, want 200 (compat)", resp.StatusCode)
+	}
+}
+
+func TestDebugSlowEndpoint(t *testing.T) {
+	o, _, tel := newTestObserver(TelemetryConfig{SlowThreshold: time.Hour})
+	defer tel.Close()
+	srv := httptest.NewServer(ObserverMux(o))
+	defer srv.Close()
+
+	fetch := func() []Event {
+		resp, err := http.Get(srv.URL + "/debug/slow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type %q", ct)
+		}
+		var evs []Event
+		if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+			t.Fatalf("decode /debug/slow: %v", err)
+		}
+		return evs
+	}
+
+	if evs := fetch(); len(evs) != 0 {
+		t.Fatalf("empty slow log served %d events", len(evs))
+	}
+
+	_, req := o.StartRequest(context.Background(), "query")
+	req.Finish(errors.New("boom"))
+	evs := fetch()
+	if len(evs) != 1 || evs[0].Error != "boom" || evs[0].Trace.IsZero() {
+		t.Fatalf("slow log after error: %+v", evs)
+	}
+}

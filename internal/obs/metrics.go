@@ -184,6 +184,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	hdrs     map[string]*HDR
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -192,6 +193,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		hdrs:     map[string]*HDR{},
 	}
 }
 
@@ -240,11 +242,35 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Snapshot is a point-in-time copy of every instrument in a registry.
+// HDR returns the named high-resolution latency histogram, creating it on
+// first use.
+func (r *Registry) HDR(name string) *HDR {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hdrs[name]
+	if !ok {
+		h = &HDR{}
+		r.hdrs[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry, plus —
+// when taken through Observer.Snapshot with telemetry attached — the
+// slow-query log.
 type Snapshot struct {
 	Counters   map[string]int64
 	Gauges     map[string]float64
 	Histograms map[string]HistogramSnapshot
+	// HDRs holds the high-resolution request-latency histograms
+	// (request.latency.query and friends); use Quantile for p50/p99/p999.
+	HDRs map[string]HDRSnapshot
+	// Slow is the worst-K slow-query log, slowest first. Empty without
+	// telemetry.
+	Slow []Event
 }
 
 // Snapshot copies the registry's current state. Nil-safe (returns empty maps).
@@ -253,6 +279,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   map[string]int64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistogramSnapshot{},
+		HDRs:       map[string]HDRSnapshot{},
 	}
 	if r == nil {
 		return s
@@ -270,6 +297,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	hdrs := make(map[string]*HDR, len(r.hdrs))
+	for k, v := range r.hdrs {
+		hdrs[k] = v
+	}
 	r.mu.Unlock()
 	for k, v := range counters {
 		s.Counters[k] = v.Value()
@@ -279,6 +310,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range hists {
 		s.Histograms[k] = v.Snapshot()
+	}
+	for k, v := range hdrs {
+		s.HDRs[k] = v.Snapshot()
 	}
 	return s
 }
@@ -298,6 +332,12 @@ func (s Snapshot) WriteText(w io.Writer) {
 			k, h.Count, h.Mean().Round(time.Microsecond),
 			h.Quantile(0.50), h.Quantile(0.95))
 	}
+	for _, k := range sortedKeys(s.HDRs) {
+		h := s.HDRs[k]
+		fmt.Fprintf(w, "%-40s n=%d mean=%s p50=%s p90=%s p99=%s p999=%s\n",
+			k, h.Count, h.Mean().Round(time.Microsecond),
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Quantile(0.999))
+	}
 }
 
 func sortedKeys[V any](m map[string]V) []string {
@@ -311,7 +351,10 @@ func sortedKeys[V any](m map[string]V) []string {
 
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (0.0.4): counters and gauges verbatim, histograms with cumulative
-// le-labeled buckets in seconds. Metric names are sanitized ('.', '-' → '_').
+// le-labeled buckets in seconds (always ending in the mandatory "+Inf"
+// bucket equal to _count), and the high-resolution HDR latency histograms as
+// summaries with p50/p90/p99/p999 quantile series. Metric names are
+// sanitized ('.', '-' → '_').
 func (r *Registry) WritePrometheus(w io.Writer) {
 	s := r.Snapshot()
 	for _, k := range sortedKeys(s.Counters) {
@@ -321,7 +364,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for _, k := range sortedKeys(s.Gauges) {
 		name := promName(k)
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name,
-			strconv.FormatFloat(s.Gauges[k], 'g', -1, 64))
+			formatPromFloat(s.Gauges[k]))
 	}
 	for _, k := range sortedKeys(s.Histograms) {
 		name := promName(k) + "_seconds"
@@ -332,14 +375,32 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			cum += c
 			le := "+Inf"
 			if b := BucketBound(i); b >= 0 {
-				le = strconv.FormatFloat(b.Seconds(), 'g', -1, 64)
+				le = formatPromFloat(b.Seconds())
 			}
 			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
 		}
-		fmt.Fprintf(w, "%s_sum %s\n", name,
-			strconv.FormatFloat(h.Sum.Seconds(), 'g', -1, 64))
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatPromFloat(h.Sum.Seconds()))
 		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 	}
+	for _, k := range sortedKeys(s.HDRs) {
+		name := promName(k) + "_seconds"
+		h := s.HDRs[k]
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		for _, q := range [...]float64{0.5, 0.9, 0.99, 0.999} {
+			fmt.Fprintf(w, "%s{quantile=%q} %s\n", name,
+				strconv.FormatFloat(q, 'g', -1, 64),
+				formatPromFloat(h.Quantile(q).Seconds()))
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", name,
+			formatPromFloat(time.Duration(h.Sum).Seconds()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}
+
+// formatPromFloat renders a float sample value for the text exposition
+// format.
+func formatPromFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // promName maps a dotted instrument name onto the Prometheus charset.

@@ -17,19 +17,58 @@ import (
 	"time"
 )
 
-// Observer bundles the two halves of the subsystem — a metrics registry and
-// an (optionally attached) tracer — into the single handle instrumented
-// components hold. Metrics is fixed at construction; the tracer may be
-// swapped at runtime (atomically, so concurrent queries may race with
-// enabling/disabling tracing).
+// Observer bundles the halves of the subsystem — a metrics registry, an
+// (optionally attached) tracer, and (optionally attached) request-scoped
+// telemetry — into the single handle instrumented components hold. Metrics
+// is fixed at construction; the tracer and telemetry may be swapped at
+// runtime (atomically, so concurrent queries may race with
+// enabling/disabling either).
 type Observer struct {
 	Metrics *Registry
 	tracer  atomic.Pointer[Tracer]
+	tel     atomic.Pointer[Telemetry]
 }
 
 // NewObserver returns an observer with a fresh registry and no tracer.
 func NewObserver() *Observer {
 	return &Observer{Metrics: NewRegistry()}
+}
+
+// SetTelemetry attaches (or, with nil, detaches) request-scoped telemetry.
+// In-flight requests keep the telemetry they started under.
+func (o *Observer) SetTelemetry(t *Telemetry) {
+	if o == nil {
+		return
+	}
+	o.tel.Store(t)
+}
+
+// Telemetry returns the currently attached telemetry, possibly nil.
+func (o *Observer) Telemetry() *Telemetry {
+	if o == nil {
+		return nil
+	}
+	return o.tel.Load()
+}
+
+// MarkReady flips the health state to ready; the index calls this on every
+// snapshot publication, so readiness follows "a generation has been
+// published". Nil-safe, no-op without telemetry.
+func (o *Observer) MarkReady() {
+	o.Telemetry().Health().MarkReady()
+}
+
+// Snapshot copies the registry's current state and, when telemetry is
+// attached, folds in the slow-query log.
+func (o *Observer) Snapshot() Snapshot {
+	if o == nil {
+		return (*Registry)(nil).Snapshot()
+	}
+	s := o.Metrics.Snapshot()
+	if tel := o.Telemetry(); tel != nil {
+		s.Slow = tel.SlowQueries()
+	}
+	return s
 }
 
 // SetTracer attaches (or, with nil, detaches) a tracer.

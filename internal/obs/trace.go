@@ -6,7 +6,6 @@ import (
 	"io"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -18,7 +17,10 @@ type Attr struct {
 
 // SpanRecord is the completed form of a span, as delivered to sinks.
 type SpanRecord struct {
-	// ID is unique per tracer; Parent is 0 for root spans.
+	// Trace identifies the request the span belongs to; zero when the span
+	// was produced by a tracer with no trace identity (NewTracer).
+	Trace TraceID `json:"trace_id,omitempty"`
+	// ID is process-unique; Parent is 0 for root spans.
 	ID     uint64    `json:"id"`
 	Parent uint64    `json:"parent,omitempty"`
 	Name   string    `json:"name"`
@@ -36,13 +38,16 @@ type SpanSink interface {
 
 // Tracer hands out hierarchical spans and forwards completed ones to its
 // sink. A nil *Tracer is the disabled fast path: Start returns a nil *Span,
-// and every span method on nil is a no-op with zero allocations.
+// and every span method on nil is a no-op with zero allocations. Span IDs
+// come from a process-global counter, so spans from many tracers (one per
+// request under telemetry) never collide in a shared sink.
 type Tracer struct {
-	sink SpanSink
-	ids  atomic.Uint64
+	sink  SpanSink
+	trace TraceID
 }
 
-// NewTracer returns a tracer writing completed spans to sink.
+// NewTracer returns a tracer writing completed spans to sink, with no trace
+// identity (spans carry a zero trace ID).
 func NewTracer(sink SpanSink) *Tracer {
 	if sink == nil {
 		return nil
@@ -50,12 +55,20 @@ func NewTracer(sink SpanSink) *Tracer {
 	return &Tracer{sink: sink}
 }
 
+// NewTraceTracer returns a tracer whose spans are all stamped with trace.
+func NewTraceTracer(sink SpanSink, trace TraceID) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, trace: trace}
+}
+
 // Start opens a root span.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{t: t, id: t.ids.Add(1), name: name, start: time.Now()}
+	return &Span{t: t, id: nextSpanID(), name: name, start: time.Now()}
 }
 
 // Span is one timed, named region of work. A span and its children must be
@@ -75,7 +88,7 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{t: s.t, id: s.t.ids.Add(1), parent: s.id, name: name, start: time.Now()}
+	return &Span{t: s.t, id: nextSpanID(), parent: s.id, name: name, start: time.Now()}
 }
 
 // Set attaches a key/value attribute and returns the span for chaining.
@@ -103,7 +116,7 @@ func (s *Span) End() time.Duration {
 	}
 	d := time.Since(s.start)
 	s.t.sink.Record(SpanRecord{
-		ID: s.id, Parent: s.parent, Name: s.name,
+		Trace: s.t.trace, ID: s.id, Parent: s.parent, Name: s.name,
 		Start: s.start, Duration: d, Attrs: s.attrs,
 	})
 	return d

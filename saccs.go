@@ -88,6 +88,24 @@ type Config struct {
 	// cached answer is always bit-identical to a fresh decode
 	// (DefaultConfig: 4096 entries; 0 disables caching).
 	ExtractCacheSize int
+	// TraceSampleN head-samples every Nth request for full span-tree
+	// retention (1 retains every request, 0 disables head sampling). While
+	// both TraceSampleN and SlowThreshold are 0 — the DefaultConfig — tail
+	// sampling is off entirely: every request's spans reach the trace sink,
+	// as in earlier releases.
+	TraceSampleN int
+	// SlowThreshold marks requests at or above this duration slow: their
+	// span trees are retained regardless of sampling and they enter the
+	// worst-K slow-query log (Stats().Slow, /debug/slow, saccs-chat :slow).
+	// Setting it (or TraceSampleN) also arms the adaptive rule that retains
+	// any request slower than the rolling p99. 0 disables the threshold.
+	SlowThreshold time.Duration
+	// SLOTarget is the query-latency service-level objective: queries at or
+	// under it count good, the rest bad, feeding the
+	// slo.requests.{good,bad}.total counters and the slo.error_budget.burn
+	// gauge (bad fraction over the 1% error budget). 0 disables SLO
+	// accounting.
+	SLOTarget time.Duration
 }
 
 // DefaultConfig returns the recommended configuration.
@@ -246,6 +264,13 @@ func New(cfg Config) (*Client, error) {
 	}
 
 	o := obs.NewObserver()
+	o.SetTelemetry(obs.NewTelemetry(obs.TelemetryConfig{
+		Metrics:       o.Metrics,
+		HeadSampleN:   cfg.TraceSampleN,
+		SlowThreshold: cfg.SlowThreshold,
+		SLOTarget:     cfg.SLOTarget,
+		RuntimeEvery:  10 * time.Second,
+	}))
 	encOpts := experiments.DefaultEncoderOpts(scale)
 	encOpts.Obs = o
 	enc := experiments.BuildEncoder(encOpts, domain, trainTokens(data))
@@ -293,7 +318,26 @@ func trainTokens(d *datasets.Dataset) [][]string {
 // ExtractTags runs the §4+§5 pipeline on free text and returns its
 // subjective tags. It is reentrant.
 func (c *Client) ExtractTags(text string) []string {
-	return c.extr.ExtractTags(text)
+	tags, _ := c.ExtractTagsCtx(context.Background(), text)
+	return tags
+}
+
+// ExtractTagsCtx is ExtractTags with cooperative cancellation (polled
+// between sentences) and request telemetry: each call is one "extract"
+// request with its own trace ID and wide event. On cancellation it returns a
+// *StageError wrapping ctx's error and no partial tag list.
+func (c *Client) ExtractTagsCtx(ctx context.Context, text string) ([]string, error) {
+	ctx, req := c.o.StartRequest(ctx, "extract")
+	req.Ev.UtteranceLen = len(text)
+	tags, err := c.extr.ExtractTagsCtx(ctx, req.Root(), text)
+	if err != nil {
+		serr := &StageError{Stage: "extract", Err: err}
+		req.Finish(serr)
+		return nil, serr
+	}
+	req.Ev.Tags = len(tags)
+	req.Finish(nil)
+	return tags, nil
 }
 
 // CanonicalTags returns the domain's built-in subjective feature tags —
@@ -408,20 +452,33 @@ func (c *Client) Reindex() []string {
 // drained tags are requeued onto the history (nothing is lost, nothing is
 // published) and the error is a *StageError wrapping ctx's error.
 func (c *Client) ReindexCtx(ctx context.Context) ([]string, error) {
+	ctx, req := c.o.StartRequest(ctx, "reindex")
+	fail := func(err error) ([]string, error) {
+		serr := &StageError{Stage: "reindex", Err: err}
+		req.Finish(serr)
+		return nil, serr
+	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	if err := ctx.Err(); err != nil {
-		return nil, &StageError{Stage: "reindex", Err: err}
+		return fail(err)
 	}
 	w := c.w.Load()
 	pend := w.history.Drain()
 	if len(pend) == 0 {
+		req.Finish(nil)
 		return nil, nil
 	}
+	st := obs.BeginStage(c.o, req.Root(), "history.drain")
+	st.Span().Set("pending", len(pend))
+	st.End()
 	if err := w.idx.BuildCtx(ctx, pend, w.reviews); err != nil {
 		w.history.Requeue(pend)
-		return nil, &StageError{Stage: "reindex", Err: err}
+		return fail(err)
 	}
+	req.Ev.Tags = len(pend)
+	req.Ev.Generation = w.idx.Current().Generation()
+	req.Finish(nil)
 	return pend, nil
 }
 
@@ -464,13 +521,20 @@ func (c *Client) QueryCtx(ctx context.Context, utterance string, opts ...QueryOp
 			theta = *opts[0].ThetaFilter
 		}
 	}
-	root := c.o.StartSpan("query").Set("utterance_len", len(utterance))
+	ctx, req := c.o.StartRequest(ctx, "query")
+	root := req.Root().Set("utterance_len", len(utterance))
+	req.Ev.UtteranceLen = len(utterance)
+	if len(opts) > 0 {
+		req.Ev.TopK, req.Ev.ThetaFilter = opts[0].TopK, opts[0].ThetaFilter
+	}
 	w := c.w.Load()
 	snap := w.idx.Current()
+	req.Ev.Generation = snap.Generation()
 	fail := func(stage string, err error) (Response, error) {
 		c.o.Counter("query.interrupted.total").Inc()
-		root.SetStatus(err).End()
-		return Response{}, &StageError{Stage: stage, Err: err}
+		serr := &StageError{Stage: stage, Err: err}
+		req.Finish(serr)
+		return Response{}, serr
 	}
 
 	if err := ctx.Err(); err != nil {
@@ -521,7 +585,8 @@ func (c *Client) QueryCtx(ctx context.Context, utterance string, opts ...QueryOp
 	c.o.Counter("query.unknown_tags.total").Add(int64(len(unknown)))
 	c.o.Histogram("query.latency").ObserveSince(t0)
 	root.Set("tags", len(tags)).Set("unknown", len(unknown)).Set("results", len(results))
-	root.End()
+	req.Ev.Tags, req.Ev.Unknown, req.Ev.Results = len(tags), len(unknown), len(results)
+	req.Finish(nil)
 	return Response{
 		Intent:      in.name,
 		Slots:       in.slots,
@@ -606,10 +671,28 @@ func (c *Client) TagLabels(sentence string) (tokens []string, labels []string) {
 
 // Stats snapshots the client's runtime metrics: query counters, per-stage
 // latency histograms (stage.parse, stage.tagger.decode, stage.pairing.pairs,
-// stage.objective, stage.rank), index build/resolve instruments, and the
-// training gauges recorded while New trained the pipeline. Metrics are
-// always on; their cost is a few atomic operations per query.
-func (c *Client) Stats() obs.Snapshot { return c.o.Metrics.Snapshot() }
+// stage.objective, stage.rank), the high-resolution request-latency
+// histograms (Snapshot.HDRs["request.latency.query"].Quantile for
+// p50/p99/p999), the worst-K slow-query log (Snapshot.Slow, slowest first),
+// index build/resolve instruments, SLO counters when Config.SLOTarget is
+// set, and the training gauges recorded while New trained the pipeline.
+// Metrics are always on; their cost is a few atomic operations per query.
+func (c *Client) Stats() obs.Snapshot { return c.o.Snapshot() }
+
+// Events returns the most recent wide events, oldest first: one structured
+// record per finished request (trace ID, per-stage durations, index
+// generation, cache hits, result counts, status, sampling verdict).
+func (c *Client) Events() []obs.Event { return c.o.Telemetry().Events() }
+
+// SlowQueries returns the worst-K slow or errored requests, slowest first —
+// the same log Stats().Slow, the /debug/slow endpoint, and saccs-chat's
+// :slow command expose.
+func (c *Client) SlowQueries() []obs.Event { return c.o.Telemetry().SlowQueries() }
+
+// Shutdown marks the client not-ready (the /readyz endpoint turns 503) and
+// stops background telemetry. The client still answers queries — shutdown
+// only signals orchestrators to drain traffic. Safe to call more than once.
+func (c *Client) Shutdown() { c.o.Telemetry().Close() }
 
 // SetTraceSink enables span tracing into sink (for example
 // obs.NewRingSink(512) or obs.NewJSONLSink(file)); a nil sink disables
@@ -623,9 +706,12 @@ func (c *Client) SetTraceSink(sink obs.SpanSink) {
 // metrics registry over HTTP (obs.Serve) or attach custom instruments.
 func (c *Client) Observer() *obs.Observer { return c.o }
 
-// ServeMetrics starts an HTTP server exposing the client's metrics registry
-// in Prometheus text format at /metrics and the pprof handlers under
-// /debug/pprof.
+// ServeMetrics starts an HTTP server exposing the client's observability
+// surface: /metrics (Prometheus text, including the request-latency
+// summaries and SLO series), /healthz (liveness — 200 whenever the process
+// serves HTTP), /readyz (readiness — 200 only between the first index
+// publication and Shutdown), /debug/slow (the worst-K slow-query log as
+// JSON), and the pprof handlers under /debug/pprof.
 //
 // Lifecycle: the listener is opened synchronously — when ServeMetrics
 // returns nil error the endpoint is already accepting connections, and the
@@ -638,23 +724,47 @@ func (c *Client) Observer() *obs.Observer { return c.o }
 // the same address; each call serves the same live registry, so multiple
 // concurrent servers on different ports are also fine.
 func (c *Client) ServeMetrics(addr string) (*http.Server, error) {
-	return obs.Serve(addr, c.o.Metrics)
+	return obs.ServeObserver(addr, c.o)
 }
 
 // The observability vocabulary is re-exported as aliases so module
 // consumers can use Stats/SetTraceSink without importing the internal obs
 // package (which the compiler forbids outside this module).
 type (
-	// Snapshot is a point-in-time copy of the metrics registry.
+	// Snapshot is a point-in-time copy of the metrics registry (plus the
+	// slow-query log).
 	Snapshot = obs.Snapshot
 	// SpanSink receives finished trace spans.
 	SpanSink = obs.SpanSink
-	// SpanRecord is one finished span: ID, parent, name, start, duration,
-	// and key/value attributes.
+	// SpanRecord is one finished span: trace ID, span ID, parent, name,
+	// start, duration, and key/value attributes.
 	SpanRecord = obs.SpanRecord
 	// RingSink is a fixed-capacity in-memory span sink.
 	RingSink = obs.RingSink
+	// Event is one wide event: the canonical structured record of a finished
+	// request.
+	Event = obs.Event
+	// TraceID is the 128-bit per-request identity stamped on spans and
+	// events, rendered as 32 hex digits.
+	TraceID = obs.TraceID
+	// Trace is a request's trace identity (trace ID, span ID, sampled flag)
+	// as carried through context.Context and W3C traceparent strings.
+	Trace = obs.Trace
 )
+
+// ContextWithTrace returns a context carrying tr; Client requests started
+// under it join the trace (same trace ID, propagated sampling decision)
+// instead of minting a new one — the cross-process propagation hook.
+func ContextWithTrace(ctx context.Context, tr Trace) context.Context {
+	return obs.ContextWithTrace(ctx, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, if any. Inside a request (the
+// context handed to stage callbacks) it reports the request's own identity.
+func TraceFrom(ctx context.Context) (Trace, bool) { return obs.TraceFrom(ctx) }
+
+// ParseTraceparent parses a W3C traceparent header ("00-<trace>-<span>-<flags>").
+func ParseTraceparent(s string) (Trace, error) { return obs.ParseTraceparent(s) }
 
 // NewRingSink returns an in-memory sink holding the last capacity spans.
 func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
