@@ -20,7 +20,8 @@ FUZZTIME ?= 30s
 COVER_BASELINE ?= 76.9
 
 .PHONY: ci lint vet build test test-short race race-full bench bench-smoke \
-	bench-contention bench-cache bench-latency check obs-lint fuzz-smoke cover
+	bench-contention bench-cache bench-latency bench-batch check obs-lint \
+	fuzz-smoke cover
 
 ci: lint build race check obs-lint fuzz-smoke bench-smoke
 
@@ -71,9 +72,11 @@ bench:
 
 # bench-smoke exercises the parallel query path end-to-end for a fraction of
 # a second — enough to catch a deadlock or crash in the concurrent pipeline
-# without slowing CI. It writes no BENCH.json.
+# without slowing CI — and -qps-guard fails the run if 4-goroutine QPS drops
+# below 1-goroutine QPS (the parallel-scaling regression this repo once
+# shipped: more goroutines, fewer queries). It writes no BENCH.json.
 bench-smoke:
-	$(GO) run ./cmd/saccs-bench -only parallel -parallel 4 -parallel-dur 300ms -bench-out ""
+	$(GO) run ./cmd/saccs-bench -only parallel -parallel 4 -parallel-dur 300ms -qps-guard -bench-out ""
 
 # bench-contention measures reader QPS with and without a writer
 # continuously rebuilding (and republishing) the index — the
@@ -88,6 +91,13 @@ bench-contention:
 # BENCH.json.
 bench-cache:
 	$(GO) run ./cmd/saccs-bench -only cache -parallel-dur 2s
+
+# bench-batch sweeps the cross-request extraction batcher: gather windows
+# {off, 100µs, 250µs, 500µs} × goroutine counts {1,2,4,8} on a cold (cache-
+# missing) query stream, reporting QPS, shared vs solo decode counts, and the
+# mean batch size. Appends the batch section to BENCH.json.
+bench-batch:
+	$(GO) run ./cmd/saccs-bench -only batch -parallel-dur 2s
 
 # bench-latency measures the end-to-end query latency distribution
 # (p50/p90/p99/p999 from the request-latency histogram, plus QPS) and writes

@@ -41,6 +41,8 @@ import (
 func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/slow and /debug/pprof on this address (e.g. :9090)")
 	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "queries at or above this duration enter the slow-query log (:slow)")
+	batchWindow := flag.Duration("batch-window", 250*time.Microsecond, "gather window for cross-request extraction batching (0 disables)")
+	batchMax := flag.Int("batch-max", 16, "max sentences per batched decode forward (<2 disables batching)")
 	flag.Parse()
 
 	o := obs.NewObserver()
@@ -81,7 +83,9 @@ func main() {
 		Pairer: pairing.Tree{Lex: parse.DomainLexicon(world.Domain), FromOpinions: true},
 		// Interactive sessions repeat themselves; the generation-keyed cache
 		// serves repeated sentences without a decode (see :stats).
-		Cache: extcache.New(4096),
+		Cache:        extcache.New(4096),
+		BatchWindow:  *batchWindow,
+		BatchMaxSize: *batchMax,
 	}
 	svc := core.NewService(world, ex, nil, core.DefaultConfig())
 	svc.SetObserver(o)

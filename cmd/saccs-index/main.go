@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"saccs/internal/core"
 	"saccs/internal/datasets"
@@ -30,6 +31,8 @@ func main() {
 	gold := flag.Bool("gold", false, "use gold review annotations instead of the neural extractor")
 	top := flag.Int("top", 5, "entities shown per tag")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz and /debug/pprof on this address (e.g. :9090)")
+	batchWindow := flag.Duration("batch-window", 250*time.Microsecond, "gather window for cross-request extraction batching during the build (0 disables)")
+	batchMax := flag.Int("batch-max", 16, "max sentences per batched decode forward (<2 disables batching)")
 	flag.Parse()
 
 	o := obs.NewObserver()
@@ -66,7 +69,9 @@ func main() {
 			Pairer: pairing.Tree{Lex: parse.DomainLexicon(world.Domain), FromOpinions: true},
 			// Reviews quote the same sentences; the cache decodes each once
 			// per build.
-			Cache: extcache.New(4096),
+			Cache:        extcache.New(4096),
+			BatchWindow:  *batchWindow,
+			BatchMaxSize: *batchMax,
 		}
 		src = core.NeuralSource{E: ex}
 	}

@@ -79,5 +79,11 @@ func DefaultSuite(seed int64) []Check {
 		{"oracle/telemetry-inert", func() error {
 			return TelemetryOracle(seed+13, 16)
 		}},
+		{"oracle/gemm-blocked", func() error {
+			return GemmBlockedOracle(seed + 14)
+		}},
+		{"oracle/extract-batch-live", func() error {
+			return ExtractBatchLiveOracle(seed+15, 8, 10)
+		}},
 	}
 }

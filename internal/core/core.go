@@ -91,6 +91,31 @@ type Extractor struct {
 	// Obs, when set, records tagging and pairing latency histograms. Set it
 	// before use; it must not change while extractions are in flight.
 	Obs *obs.Observer
+	// BatchWindow and BatchMaxSize configure cross-request decode batching
+	// on the context-aware path (see batch.go): concurrent cache-missing
+	// sentences gather for up to BatchWindow, and one shared forward decodes
+	// up to BatchMaxSize of them, bit-identically to serial decoding. An
+	// explicit zero in either (the zero value) disables batching, as does a
+	// Tagger that is not a BatchTagger. Set both before use; they must not
+	// change while extractions are in flight.
+	BatchWindow  time.Duration
+	BatchMaxSize int
+
+	// Gather state (batch.go): the open cohort, the in-flight extraction
+	// count, and the load signals gating the solo bypass — the last instant
+	// two extractions overlapped, and the last decode-request arrival
+	// (burst detection for schedulers that admit requests one at a time).
+	// hwInflight/hwStamp track the recent high-water mark of the in-flight
+	// count: the seal target for a gathering batch, so a requester that is
+	// momentarily between queries (ranking, parsing) still gets a slot in
+	// the cohort it is about to rejoin.
+	batchMu    sync.Mutex
+	batchCur   *extractBatch
+	inflight   atomic.Int64
+	lastMulti  atomic.Int64
+	lastArrive atomic.Int64
+	hwInflight atomic.Int64
+	hwStamp    atomic.Int64
 }
 
 // ExtractFromTokens extracts subjective tags from one tokenized sentence.
@@ -127,6 +152,19 @@ func (e *Extractor) ExtractFromTokensTraced(parent *obs.Span, tokens []string) [
 	labels := e.Tagger.Predict(tokens)
 	st.Span().Set("tokens", len(tokens))
 	st.End()
+	// Store only if the weights did not change while we were decoding: a
+	// Train that overlapped this decode bumped the generation at its start,
+	// so the re-read differs and the possibly-mixed result is discarded
+	// rather than cached under the pre-train generation.
+	genOK := tg != nil && tg.Generation() == gen
+	return e.finishExtract(parent, tokens, labels, gen, genOK, key)
+}
+
+// finishExtract is the post-decode tail shared by the serial and batched
+// paths: span splitting, pairing, tag rendering, and the generation-checked
+// cache fill. genOK reports that the tagger's generation was unchanged across
+// the decode that produced labels; only then is the result cached under gen.
+func (e *Extractor) finishExtract(parent *obs.Span, tokens []string, labels []tokenize.Label, gen uint64, genOK bool, key string) []string {
 	spans := tokenize.Spans(labels)
 	var aspects, opinions []tokenize.Span
 	for _, sp := range spans {
@@ -136,7 +174,7 @@ func (e *Extractor) ExtractFromTokensTraced(parent *obs.Span, tokens []string) [
 			opinions = append(opinions, sp)
 		}
 	}
-	st = obs.BeginStage(e.Obs, parent, "pairing.pairs")
+	st := obs.BeginStage(e.Obs, parent, "pairing.pairs")
 	pairs := e.Pairer.Pairs(tokens, aspects, opinions)
 	st.Span().Set("aspects", len(aspects)).Set("opinions", len(opinions)).Set("pairs", len(pairs))
 	st.End()
@@ -149,11 +187,7 @@ func (e *Extractor) ExtractFromTokensTraced(parent *obs.Span, tokens []string) [
 			tags = append(tags, tag)
 		}
 	}
-	// Store only if the weights did not change while we were decoding: a
-	// Train that overlapped this decode bumped the generation at its start,
-	// so the re-read differs and the possibly-mixed result is discarded
-	// rather than cached under the pre-train generation.
-	if tg != nil && tg.Generation() == gen {
+	if genOK {
 		e.Cache.Put(gen, key, tags)
 	}
 	return tags
@@ -215,17 +249,36 @@ func (e *Extractor) ExtractTagsTraced(parent *obs.Span, text string) []string {
 
 // ExtractTagsCtx is ExtractTagsTraced with cooperative cancellation: the
 // context is polled before each sentence's decode, so a cancelled or expired
-// context aborts between sentences with ctx's error and no partial tag list.
-// (A single sentence's Viterbi decode is not interruptible — stage
-// boundaries are the cancellation points.)
+// context aborts with ctx's error and no partial tag list. (A single
+// sentence's Viterbi decode is not interruptible — stage boundaries are the
+// cancellation points.) With batching configured (BatchWindow/BatchMaxSize)
+// the caller's cache-missing sentences are enqueued together into the gather
+// window and share decode forwards with concurrent callers — see batch.go; a
+// caller cancelled while enqueued returns ctx's error without disturbing its
+// cohort. Batched and serial decoding are bit-identical, so the tag list is
+// the same either way.
 func (e *Extractor) ExtractTagsCtx(ctx context.Context, parent *obs.Span, text string) ([]string, error) {
-	var tags []string
-	seen := map[string]bool{}
-	for _, sent := range tokenize.Sentences(text) {
-		if err := ctx.Err(); err != nil {
+	sentences := tokenize.Sentences(text)
+	var perSent [][]string
+	if bt, ok := e.batchingEnabled(); ok {
+		var err error
+		perSent, err = e.extractSentencesBatched(ctx, parent, bt, sentences)
+		if err != nil {
 			return nil, err
 		}
-		for _, tag := range e.ExtractFromTokensTraced(parent, tokenize.Words(sent)) {
+	} else {
+		perSent = make([][]string, 0, len(sentences))
+		for _, sent := range sentences {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			perSent = append(perSent, e.ExtractFromTokensTraced(parent, tokenize.Words(sent)))
+		}
+	}
+	var tags []string
+	seen := map[string]bool{}
+	for _, stags := range perSent {
+		for _, tag := range stags {
 			if !seen[tag] {
 				seen[tag] = true
 				tags = append(tags, tag)

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package mat
+
+// hasAVX512 mirrors the amd64 detection flag so tests that force the scalar
+// path compile everywhere.
+var hasAVX512 = false
+
+// gemmAsmInto has no vector implementation off amd64; MatMulInto always takes
+// the scalar blocked path.
+func gemmAsmInto(dst, a, b *Mat) bool { return false }
+
+func addVecFast(dst, src Vec) { dst.Add(src) }

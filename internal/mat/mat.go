@@ -248,6 +248,11 @@ func (m *Mat) MulVec(dst, v Vec) {
 
 // MulVecT computes dst = mᵀ · v where v has length m.Rows and dst length
 // m.Cols. dst is overwritten.
+//
+// The zero-skip is kept deliberately: MulVecT runs on the training backward
+// path where v is an upstream gradient that really is sparse (dropout masks,
+// softmax-CE one-hots zero entire rows), so the branch wins there — unlike
+// the dense inference kernels in gemm.go, which are branch-free.
 func (m *Mat) MulVecT(dst, v Vec) {
 	checkLen(len(v), m.Rows)
 	checkLen(len(dst), m.Cols)
@@ -265,7 +270,10 @@ func (m *Mat) MulVecT(dst, v Vec) {
 }
 
 // AddOuter accumulates the outer product u·vᵀ into m (rank-1 update),
-// where u has length m.Rows and v length m.Cols.
+// where u has length m.Rows and v length m.Cols. Like MulVecT it keeps the
+// zero-skip because u is a gradient on the training path, where exact zeros
+// are common (masked tokens, one-hot targets); adding u[i]*v ≡ +0 row-wise
+// makes the skip a pure win there.
 func (m *Mat) AddOuter(u, v Vec) {
 	checkLen(len(u), m.Rows)
 	checkLen(len(v), m.Cols)
@@ -281,22 +289,16 @@ func (m *Mat) AddOuter(u, v Vec) {
 }
 
 // MatMul returns a·b. Panics if a.Cols != b.Rows.
+//
+// The kernel is branch-free: it used to skip k whenever a[i][k] == 0, a
+// "sparsity" shortcut that never fires on trained dense weights but puts a
+// data-dependent branch in the hottest loop of every dense multiply. The
+// skip survives only where operand sparsity is structural — the training
+// path's MulVecT and AddOuter.
 func MatMul(a, b *Mat) *Mat {
 	checkLen(a.Cols, b.Rows)
 	out := NewMat(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	MatMulInto(out, a, b)
 	return out
 }
 

@@ -25,24 +25,49 @@ type Arena struct {
 	nv     int
 	ints   []int
 	ni     int
+	mats   []mat.Mat
+	nm     int
 }
 
 // Reset recycles the arena: every previously returned slice is dead and the
 // backing arrays are reused from the start.
-func (a *Arena) Reset() { a.nf, a.nv, a.ni = 0, 0, 0 }
+func (a *Arena) Reset() { a.nf, a.nv, a.ni, a.nm = 0, 0, 0, 0 }
 
 // Vec returns a zeroed vector of length n backed by the arena.
 func (a *Arena) Vec(n int) mat.Vec {
+	v := a.rawVec(n)
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// rawVec returns an uninitialized arena vector. Callers must overwrite every
+// element before reading — it is used only by kernels that fully fill their
+// output (weight packing for the batched GEMMs).
+func (a *Arena) rawVec(n int) mat.Vec {
 	if a.nf+n > len(a.floats) {
 		a.floats = make([]float64, grow(len(a.floats), n, 1024))
 		a.nf = 0
 	}
 	v := a.floats[a.nf : a.nf+n : a.nf+n]
 	a.nf += n
-	for i := range v {
-		v[i] = 0
-	}
 	return v
+}
+
+// MatRaw is Mat without the zero fill: the caller must overwrite every
+// element before reading. The batched kernels use it for outputs a GEMM or
+// row copy fully covers, where zeroing would be pure overhead.
+func (a *Arena) MatRaw(rows, cols int) *mat.Mat {
+	if a.nm >= len(a.mats) {
+		a.mats = make([]mat.Mat, grow(len(a.mats), 1, 16))
+		a.nm = 0
+	}
+	m := &a.mats[a.nm]
+	a.nm++
+	m.Rows, m.Cols = rows, cols
+	m.Data = a.rawVec(rows * cols)
+	return m
 }
 
 // Seq returns a slice of n nil vector headers backed by the arena — the
@@ -58,6 +83,19 @@ func (a *Arena) Seq(n int) []mat.Vec {
 		s[i] = nil
 	}
 	return s
+}
+
+// Mat returns a zeroed rows×cols matrix backed by the arena: the data comes
+// from the float pool and the header from a pooled header array, so the
+// batched-inference kernels stay allocation-free once the arena is warm. The
+// same ownership contract as Vec applies — the matrix (header and data) is
+// valid only until the next Reset.
+func (a *Arena) Mat(rows, cols int) *mat.Mat {
+	m := a.MatRaw(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
 }
 
 // Ints returns a zeroed int slice of length n backed by the arena.

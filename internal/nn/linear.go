@@ -11,6 +11,10 @@ type Linear struct {
 	In, Out int
 	Weight  *Param // Out×In
 	Bias    *Param // 1×Out
+
+	// pack caches Weightᵀ for the batched GEMM path, keyed on the weight
+	// version (see packedTransposed). Never copy a Linear by value.
+	pack packSlot
 }
 
 // NewLinear returns a Xavier-initialized linear layer.

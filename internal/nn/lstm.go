@@ -14,6 +14,11 @@ type LSTM struct {
 	Wx         *Param // 4H×In, gate order (i, f, g, o)
 	Wh         *Param // 4H×H
 	B          *Param // 1×4H
+
+	// packWx/packWh cache the transposed weights for the batched GEMM path,
+	// keyed on the weight versions (see packedTransposed). Never copy an
+	// LSTM by value.
+	packWx, packWh packSlot
 }
 
 // NewLSTM returns an LSTM with Xavier weights and forget-gate bias 1.

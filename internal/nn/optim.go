@@ -27,6 +27,7 @@ func (s *SGD) Step(params []*Param) {
 			}
 			p.W.Data[i] -= s.LR * g
 		}
+		p.NoteMutated()
 	}
 }
 
@@ -69,5 +70,6 @@ func (a *Adam) Step(params []*Param) {
 			vhat := v.Data[i] / bc2
 			p.W.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
 		}
+		p.NoteMutated()
 	}
 }

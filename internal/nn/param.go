@@ -9,6 +9,7 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"saccs/internal/mat"
 )
@@ -18,7 +19,21 @@ type Param struct {
 	Name string
 	W    *mat.Mat
 	G    *mat.Mat
+
+	// ver counts W mutations (optimizer steps, re-inits). Derived caches —
+	// the packed GEMM operands of the batched inference path — key on it to
+	// invalidate when the weights change. Every code path that writes W must
+	// call NoteMutated afterward.
+	ver atomic.Uint64
 }
+
+// NoteMutated records that W changed. Mutators must call it after the last
+// write: the atomic bump publishes the preceding writes, so a reader that
+// observes the new version also observes the new weights.
+func (p *Param) NoteMutated() { p.ver.Add(1) }
+
+// Version identifies the current weight state for cache keying.
+func (p *Param) Version() uint64 { return p.ver.Load() }
 
 // NewParam allocates a named zero parameter of the given shape.
 func NewParam(name string, rows, cols int) *Param {
@@ -65,6 +80,7 @@ func XavierInit(rng *rand.Rand, p *Param) {
 	for i := range p.W.Data {
 		p.W.Data[i] = (rng.Float64()*2 - 1) * limit
 	}
+	p.NoteMutated()
 }
 
 // NormalInit fills p.W with N(0, std²) values.
@@ -72,4 +88,5 @@ func NormalInit(rng *rand.Rand, p *Param, std float64) {
 	for i := range p.W.Data {
 		p.W.Data[i] = rng.NormFloat64() * std
 	}
+	p.NoteMutated()
 }

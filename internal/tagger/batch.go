@@ -1,0 +1,64 @@
+package tagger
+
+import (
+	"time"
+
+	"saccs/internal/mat"
+	"saccs/internal/nn"
+	"saccs/internal/tokenize"
+)
+
+// BatchArenaEncoder is an encoder that can run several sequences through one
+// shared forward pass, returning packed per-token hidden states addressed by
+// starts/lens; *bert.Model satisfies it. When the tagger's encoder implements
+// it, PredictBatch fuses the whole batch's linear algebra into batch GEMMs.
+type BatchArenaEncoder interface {
+	InferBatchTokensArena(seqs [][]string, a *nn.Arena) (*mat.Mat, []int, []int)
+}
+
+// PredictBatch decodes several token sequences in one shared forward pass:
+// embeddings, transformer blocks, BiLSTM, and projection run over all
+// sequences at once (internal/nn's and internal/bert's InferBatch kernels),
+// then Viterbi decodes each sequence individually. Per sequence the result is
+// bit-identical to Predict — the batch kernels execute the serial kernels'
+// float operations in the same per-element order, which the TestPredictBatch
+// differential tests and oracle/extract-batch-live pin. Like Predict it
+// writes no receiver state and is safe for any number of concurrent callers.
+//
+// Encoders that cannot batch fall back to a serial Predict loop, as does the
+// degenerate single-sequence batch (where the shared pass has nothing to
+// amortize).
+func (m *Model) PredictBatch(seqs [][]string) [][]tokenize.Label {
+	outs := make([][]tokenize.Label, len(seqs))
+	be, ok := m.enc.(BatchArenaEncoder)
+	if !ok || len(seqs) < 2 {
+		for i, s := range seqs {
+			outs[i] = m.Predict(s)
+		}
+		return outs
+	}
+	if m.Obs != nil {
+		defer m.Obs.Histogram("tagger.predict").ObserveSince(time.Now())
+	}
+	a := arenaPool.Get().(*nn.Arena)
+	a.Reset()
+	embeds, starts, lens := be.InferBatchTokensArena(seqs, a)
+	hs := m.bilstm.InferBatch(embeds, starts, lens, a)
+	emissions := m.proj.InferBatch(hs, a)
+	for s, seq := range seqs {
+		out := make([]tokenize.Label, len(seq))
+		if n := lens[s]; n > 0 {
+			em := a.Seq(n)
+			for t := 0; t < n; t++ {
+				em[t] = emissions.Row(starts[s] + t)
+			}
+			path := m.crf.DecodeArena(em, a)
+			for i, l := range path {
+				out[i] = tokenize.Label(l)
+			}
+		}
+		outs[s] = out
+	}
+	arenaPool.Put(a)
+	return outs
+}

@@ -1,0 +1,35 @@
+package tagger
+
+import (
+	"math/rand"
+	"testing"
+
+	"saccs/internal/bert"
+	"saccs/internal/tokenize"
+)
+
+// BenchmarkPredict measures one cold decode at production model dimensions
+// (bert.DefaultConfig + tagger.DefaultConfig): the `tagger.decode` stage of
+// BENCH.json. Run with -cpuprofile to see the kernel breakdown.
+func BenchmarkPredict(b *testing.B) {
+	m, tokens := benchModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(tokens)
+	}
+}
+
+func benchModel() (*Model, []string) {
+	words := []string{"i", "want", "an", "italian", "restaurant", "in", "montreal",
+		"with", "delicious", "food", "and", "nice", "staff", "the", "is", "friendly"}
+	v := tokenize.NewVocab()
+	v.AddAll(words)
+	enc := bert.New(rand.New(rand.NewSource(7)), bert.DefaultConfig(), v)
+	m := New(enc, DefaultConfig())
+	tokens := []string{"i", "want", "an", "italian", "restaurant", "in", "montreal",
+		"with", "delicious", "food", "and", "nice", "staff"}
+	for i := 0; i < 3; i++ {
+		m.Predict(tokens)
+	}
+	return m, tokens
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package tagger
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count pins skip under it, since the instrumented runtime
+// allocates on its own behalf.
+const raceEnabled = true
