@@ -17,11 +17,11 @@ FUZZTIME ?= 30s
 # Minimum acceptable total test coverage (percent), measured by `make cover`.
 # Recorded from the seed tree; raise it when coverage genuinely improves,
 # never lower it to make a PR pass.
-COVER_BASELINE ?= 76.9
+COVER_BASELINE ?= 77.3
 
 .PHONY: ci lint vet build test test-short race race-full bench bench-smoke \
-	bench-contention bench-cache bench-latency bench-batch check obs-lint \
-	fuzz-smoke cover
+	bench-contention bench-cache bench-latency bench-batch bench-ingest \
+	check obs-lint fuzz-smoke cover
 
 ci: lint build race check obs-lint fuzz-smoke bench-smoke
 
@@ -105,6 +105,13 @@ bench-batch:
 bench-latency:
 	$(GO) run ./cmd/saccs-bench -only latency -parallel-dur 2s
 
+# bench-ingest measures the streaming-ingest tier on the real filesystem:
+# durable append throughput under FsyncAlways and FsyncBatch, the
+# durable-ack and publish-lag latency quantiles, and the crash-recovery
+# replay rate at reopen. Appends the ingest section to BENCH.json.
+bench-ingest:
+	$(GO) run ./cmd/saccs-bench -only ingest -parallel-dur 2s
+
 # check runs the correctness harness under the race detector: the
 # internal/check differential oracles (serial vs parallel build, persisted vs
 # rebuilt index, memoized vs raw similarity, serial vs concurrent query) and
@@ -114,7 +121,7 @@ bench-latency:
 check:
 	$(GO) test -race -count=1 ./internal/check/...
 	$(GO) test -race -count=1 -run '^Fuzz' ./internal/tokenize/ ./internal/search/ \
-		./internal/parse/ ./internal/tagger/ ./internal/index/
+		./internal/parse/ ./internal/tagger/ ./internal/index/ ./internal/ingest/
 
 # fuzz-smoke gives each native fuzz target a bounded budget ($(FUZZTIME) per
 # target). `go test -fuzz` accepts exactly one target per invocation, hence
@@ -126,6 +133,7 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzBuildTree$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/parse/
 	$(GO) test -fuzz '^FuzzPredictDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/tagger/
 	$(GO) test -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/index/
+	$(GO) test -fuzz '^FuzzWALDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/ingest/
 
 # cover measures total -short coverage and fails if it regresses below
 # COVER_BASELINE (the value recorded from the seed tree).

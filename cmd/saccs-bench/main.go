@@ -40,16 +40,23 @@
 // p90, p99, p999 from the high-resolution log-linear histogram — alongside
 // the pass's QPS, so BENCH.json tracks tail latency and not just throughput.
 //
+// The "ingest" section measures the streaming tier on the real filesystem:
+// durable append throughput under FsyncAlways (each ack is an fsync) and
+// FsyncBatch (sync at publication), append and publish-lag quantiles from
+// the ingest histograms, and the crash-recovery figure — how fast a reopened
+// ingester replays the log it just wrote.
+//
 // Usage:
 //
 //	saccs-bench [-scale fast|paper]
-//	            [-only table2,table3,table4,table5,figures,stages,parallel,batch,contention,cache,latency]
+//	            [-only table2,table3,table4,table5,figures,stages,parallel,batch,contention,cache,latency,ingest]
 //	            [-parallel N] [-parallel-dur 2s] [-qps-guard]
 //	            [-readers N] [-contention-dur 2s]
 //	            [-bench-out BENCH.json] [-metrics-addr :9090]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -67,6 +74,7 @@ import (
 	"saccs/internal/experiments"
 	"saccs/internal/extcache"
 	"saccs/internal/index"
+	"saccs/internal/ingest"
 	"saccs/internal/obs"
 	"saccs/internal/pairing"
 	"saccs/internal/parse"
@@ -79,7 +87,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "fast", "experiment scale: fast or paper")
-	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures,stages,parallel,batch,contention,cache,latency")
+	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures,stages,parallel,batch,contention,cache,latency,ingest")
 	benchOut := flag.String("bench-out", "BENCH.json", "file for the machine-readable benchmark results (empty disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
 	parallelN := flag.Int("parallel", runtime.GOMAXPROCS(0), "goroutines for the parallel query benchmark")
@@ -142,8 +150,9 @@ func main() {
 	run("contention", func() { contentionBenchmarks(o, doc, *readersN, *contentionDur) })
 	run("cache", func() { cacheBenchmarks(o, doc, *parallelDur) })
 	run("latency", func() { latencyBenchmarks(o, doc, *parallelDur) })
+	run("ingest", func() { ingestBenchmarks(doc, *parallelDur) })
 
-	if *benchOut != "" && (len(doc.Stages) > 0 || len(doc.Parallel) > 0 || len(doc.Batch) > 0 || len(doc.Contention) > 0 || doc.Cache != nil || doc.Latency != nil) {
+	if *benchOut != "" && (len(doc.Stages) > 0 || len(doc.Parallel) > 0 || len(doc.Batch) > 0 || len(doc.Contention) > 0 || doc.Cache != nil || doc.Latency != nil || doc.Ingest != nil) {
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
@@ -160,8 +169,12 @@ func main() {
 		if doc.Latency != nil {
 			latency = "latency quantiles"
 		}
-		fmt.Printf("wrote %s (%d stages, %d parallel passes, %d batch passes, %d contention passes, %d cache rows, %s)\n",
-			*benchOut, len(doc.Stages), len(doc.Parallel), len(doc.Batch), len(doc.Contention), cacheRows, latency)
+		ingestRows := 0
+		if doc.Ingest != nil {
+			ingestRows = len(doc.Ingest.Results)
+		}
+		fmt.Printf("wrote %s (%d stages, %d parallel passes, %d batch passes, %d contention passes, %d cache rows, %s, %d ingest rows)\n",
+			*benchOut, len(doc.Stages), len(doc.Parallel), len(doc.Batch), len(doc.Contention), cacheRows, latency, ingestRows)
 	}
 }
 
@@ -240,6 +253,35 @@ type latencySection struct {
 	MeanNs float64 `json:"mean_ns"`
 }
 
+// ingestResult is one fsync-policy pass of the streaming-ingest benchmark.
+type ingestResult struct {
+	// Mode is "fsync-always" (every ack is an fsync) or "fsync-batch"
+	// (sync at publication boundaries).
+	Mode          string  `json:"mode"`
+	Appends       int64   `json:"appends"`
+	Seconds       float64 `json:"seconds"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	// Append quantiles are the durable-ack latency seen by callers.
+	AppendP50Ns float64 `json:"append_p50_ns"`
+	AppendP99Ns float64 `json:"append_p99_ns"`
+	// Publish-lag quantiles measure bounded staleness: per publication, how
+	// long its oldest pending review waited to become queryable.
+	PublishLagP50Ns float64 `json:"publish_lag_p50_ns"`
+	PublishLagP99Ns float64 `json:"publish_lag_p99_ns"`
+	Publishes       int64   `json:"publishes"`
+	Compactions     int64   `json:"compactions"`
+}
+
+// ingestSection is the streaming-ingest benchmark's BENCH.json entry.
+type ingestSection struct {
+	Results []ingestResult `json:"results"`
+	// RecoverySeconds is how long a fresh ingester took to replay the
+	// fsync-always pass's log (WAL + checkpoint + delta stack) at reopen.
+	RecoverySeconds  float64 `json:"recovery_seconds"`
+	RecoveredReviews int     `json:"recovered_reviews"`
+	RecoveredPerSec  float64 `json:"recovered_per_sec"`
+}
+
 // benchFile is the BENCH.json document.
 type benchFile struct {
 	Command    string             `json:"command"`
@@ -249,6 +291,7 @@ type benchFile struct {
 	Contention []contentionResult `json:"contention,omitempty"`
 	Cache      *cacheSection      `json:"cache,omitempty"`
 	Latency    *latencySection    `json:"latency,omitempty"`
+	Ingest     *ingestSection     `json:"ingest,omitempty"`
 }
 
 // benchPipeline builds the fast pipeline the stage and parallel benchmarks
@@ -739,4 +782,152 @@ func latencyBenchmarks(o *obs.Observer, doc *benchFile, dur time.Duration) {
 		time.Duration(sec.P999Ns).Round(time.Microsecond),
 		time.Duration(sec.MeanNs).Round(time.Microsecond))
 	doc.Latency = sec
+}
+
+// ingestTags is the synthetic streaming vocabulary. Reviews carry their tags
+// inline ("tag | tag") and benchExtract splits them back out, so the section
+// measures the ingest tier itself — WAL append + fsync, delta builds,
+// compaction — not the neural extractor in front of it.
+var ingestTags = []string{
+	"delicious food", "nice staff", "quiet atmosphere", "creative cooking",
+	"fair prices", "fresh ingredients", "generous portions", "quick service",
+	"cozy decor", "good view",
+}
+
+func benchExtract(texts []string) [][]string {
+	out := make([][]string, len(texts))
+	for i, t := range texts {
+		for _, p := range strings.Split(t, " | ") {
+			if p != "" {
+				out[i] = append(out[i], p)
+			}
+		}
+	}
+	return out
+}
+
+// ingestBenchmarks measures the streaming-ingest tier on the real
+// filesystem. Two duration-bound append passes — FsyncAlways (the durability
+// default: every acknowledged review is on stable storage) and FsyncBatch
+// (sync at publication boundaries) — each over its own WAL directory with
+// its own observer, reporting throughput, the durable-ack latency quantiles,
+// and the publish-lag quantiles that quantify bounded staleness. The
+// fsync-always log is then reopened by a fresh ingester and the recovery
+// replay is timed: the crash-restart figure.
+func ingestBenchmarks(doc *benchFile, dur time.Duration) {
+	const nEntities = 256
+	review := func(i int) (string, string) {
+		t1 := ingestTags[i%len(ingestTags)]
+		t2 := ingestTags[(i*7+3)%len(ingestTags)]
+		return fmt.Sprintf("ent-%d", i%nEntities), t1 + " | " + t2
+	}
+
+	pass := func(mode string, policy ingest.FsyncPolicy) (ingestResult, string) {
+		dir, err := os.MkdirTemp("", "saccs-ingest-bench-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingest bench: %v\n", err)
+			os.Exit(1)
+		}
+		io := obs.NewObserver()
+		ix := index.New(sim.NewConceptual(), core.DefaultConfig().ThetaIndex)
+		ing, err := ingest.Open(ingest.Config{
+			Dir:             dir,
+			Fsync:           policy,
+			PublishEvery:    64,
+			PublishInterval: -1,
+			CompactAfter:    8,
+			Obs:             io,
+		}, ix, ingestTags, nil, benchExtract)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingest bench: open: %v\n", err)
+			os.Exit(1)
+		}
+		ctx := context.Background()
+		deadline := time.Now().Add(dur)
+		start := time.Now()
+		var n int64
+		for i := 0; time.Now().Before(deadline); i++ {
+			id, text := review(i)
+			if _, err := ing.Append(ctx, id, text); err != nil {
+				fmt.Fprintf(os.Stderr, "ingest bench: append: %v\n", err)
+				os.Exit(1)
+			}
+			n++
+		}
+		if err := ing.Flush(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "ingest bench: flush: %v\n", err)
+			os.Exit(1)
+		}
+		sec := time.Since(start).Seconds()
+		if err := ing.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ingest bench: close: %v\n", err)
+			os.Exit(1)
+		}
+		app := io.Histogram("ingest.append").Snapshot()
+		lag := io.Histogram("ingest.publish.lag").Snapshot()
+		return ingestResult{
+			Mode:            mode,
+			Appends:         n,
+			Seconds:         sec,
+			AppendsPerSec:   float64(n) / sec,
+			AppendP50Ns:     float64(app.Quantile(0.5)),
+			AppendP99Ns:     float64(app.Quantile(0.99)),
+			PublishLagP50Ns: float64(lag.Quantile(0.5)),
+			PublishLagP99Ns: float64(lag.Quantile(0.99)),
+			Publishes:       lag.Count,
+			Compactions:     int64(io.Counter("ingest.compactions.total").Value()),
+		}, dir
+	}
+
+	fmt.Printf("%-14s %10s %12s %12s %12s %12s %12s %10s\n",
+		"mode", "appends", "appends/s", "ack p50", "ack p99", "lag p50", "lag p99", "compacts")
+	sec := &ingestSection{}
+	var alwaysDir string
+	for _, m := range []struct {
+		mode   string
+		policy ingest.FsyncPolicy
+	}{
+		{"fsync-always", ingest.FsyncAlways},
+		{"fsync-batch", ingest.FsyncBatch},
+	} {
+		r, dir := pass(m.mode, m.policy)
+		sec.Results = append(sec.Results, r)
+		fmt.Printf("%-14s %10d %12.0f %12s %12s %12s %12s %10d\n",
+			r.Mode, r.Appends, r.AppendsPerSec,
+			time.Duration(r.AppendP50Ns).Round(time.Microsecond),
+			time.Duration(r.AppendP99Ns).Round(time.Microsecond),
+			time.Duration(r.PublishLagP50Ns).Round(time.Microsecond),
+			time.Duration(r.PublishLagP99Ns).Round(time.Microsecond),
+			r.Compactions)
+		if m.mode == "fsync-always" {
+			alwaysDir = dir
+		} else {
+			_ = os.RemoveAll(dir)
+		}
+	}
+
+	// Recovery replay: reopen the fsync-always log cold and time Open.
+	ix := index.New(sim.NewConceptual(), core.DefaultConfig().ThetaIndex)
+	start := time.Now()
+	ing, err := ingest.Open(ingest.Config{Dir: alwaysDir, PublishInterval: -1}, ix, ingestTags, nil, benchExtract)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ingest bench: recovery open: %v\n", err)
+		os.Exit(1)
+	}
+	sec.RecoverySeconds = time.Since(start).Seconds()
+	for _, e := range ing.State() {
+		sec.RecoveredReviews += e.ReviewCount
+	}
+	if sec.RecoverySeconds > 0 {
+		sec.RecoveredPerSec = float64(sec.RecoveredReviews) / sec.RecoverySeconds
+	}
+	if err := ing.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ingest bench: recovery close: %v\n", err)
+		os.Exit(1)
+	}
+	_ = os.RemoveAll(alwaysDir)
+	fmt.Printf("recovery replay: %d reviews in %v (%.0f reviews/s)\n",
+		sec.RecoveredReviews, time.Duration(sec.RecoverySeconds*float64(time.Second)).Round(time.Millisecond),
+		sec.RecoveredPerSec)
+	doc.Ingest = sec
 }

@@ -85,5 +85,11 @@ func DefaultSuite(seed int64) []Check {
 		{"oracle/extract-batch-live", func() error {
 			return ExtractBatchLiveOracle(seed+15, 8, 10)
 		}},
+		{"oracle/ingest-quiesce", func() error {
+			return IngestQuiesceOracle(seed+16, 90, 8)
+		}},
+		{"oracle/ingest-prefix", func() error {
+			return IngestPrefixOracle(seed+17, 6, 48)
+		}},
 	}
 }

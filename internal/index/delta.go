@@ -1,0 +1,159 @@
+package index
+
+import (
+	"context"
+	"time"
+)
+
+// Delta is one mini-snapshot: the recomputed posting entries of a set of
+// dirty entities across a tag list, produced by an incremental (streaming)
+// indexing round. A delta is self-contained — Entities names every entity it
+// covers, and Postings[i] holds tag Tags[i]'s entries for those entities
+// only — so applying it to a base snapshot is "remove the dirty entities'
+// old entries, merge in the new ones".
+//
+// Because Eq. 1's degree of truth for (tag, entity) depends only on that
+// entity's own accumulated review state, a delta computed from an entity's
+// full state is exactly what a batch rebuild would compute for it: merging a
+// delta into the published snapshot yields a generation bit-identical to a
+// full Build over the same world. (This is also why the duplicate-entity
+// merge rule across a stack of mini-snapshots is newest-wins, not
+// max-degree: Eq. 1 is not monotone — a mean-similarity can drop as reviews
+// accumulate — so only the entry computed from the largest review prefix
+// reproduces the batch build. See LoadStack.)
+type Delta struct {
+	// Seq is the durability watermark the delta was published at (the WAL
+	// sequence number of its last covered review); informational for
+	// in-memory application, authoritative for persisted stacks.
+	Seq uint64
+	// Entities are the dirty entity IDs the delta covers. Every posting
+	// entry in Postings refers to one of them.
+	Entities []string
+	// Tags and Postings are parallel: Postings[i] is tag Tags[i]'s entries
+	// for the dirty entities, sorted (degree desc, entity ID asc) like every
+	// posting list in the index.
+	Tags     []string
+	Postings [][]Entry
+}
+
+// MergeDelta runs one incremental indexing round: it computes fresh posting
+// entries for the dirty entities across the given tags (each entity's
+// EntityReviews must carry its full accumulated review state, not just the
+// new reviews — Eq. 1 is per-entity but not per-review), derives the next
+// generation by replacing those entities' entries, and publishes it
+// atomically. Readers in flight keep their pinned snapshot, exactly as with
+// Build. The applied delta is returned so callers can persist it (SaveDelta).
+//
+// The resulting generation is bit-identical to a full Build over the union
+// of the dirty state and the untouched entities, provided tags covers every
+// indexed tag the dirty entities may appear under.
+func (ix *Index) MergeDelta(ctx context.Context, tags []string, dirty []EntityReviews) (*Delta, error) {
+	var t0 time.Time
+	if ix.o != nil {
+		t0 = time.Now()
+	}
+	cfg := ix.b.config()
+	postings, err := ix.b.Postings(ctx, tags, dirty, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(dirty))
+	for i, e := range dirty {
+		ids[i] = e.EntityID
+	}
+	d := &Delta{Entities: ids, Tags: tags, Postings: postings}
+	ix.publishMu.Lock()
+	n := ix.publish(ix.snap.Load().withDelta(d))
+	ix.publishMu.Unlock()
+	if ix.o != nil {
+		ix.o.Histogram("index.merge").Observe(time.Since(t0))
+		ix.tagsGauge.Set(float64(n))
+		ix.o.Counter("index.merge.entities.total").Add(int64(len(dirty)))
+	}
+	return d, nil
+}
+
+// ApplyDelta merges a precomputed delta (for example one read back with
+// ReadDelta) into the current generation and publishes the result. Unlike
+// MergeDelta it computes nothing — the delta's entries are trusted as-is, so
+// callers must validate untrusted deltas first (ReadDelta does).
+func (ix *Index) ApplyDelta(d *Delta) {
+	ix.publishMu.Lock()
+	ix.publish(ix.snap.Load().withDelta(d))
+	ix.publishMu.Unlock()
+}
+
+// withDelta derives the next generation from s by applying d: for each
+// delta tag, the dirty entities' old entries are removed and the delta's
+// entries merged in, preserving (degree desc, entity ID asc) order; tags the
+// delta does not cover keep their posting lists untouched (shared, not
+// copied). New tags are appended to the key order.
+func (s *Snapshot) withDelta(d *Delta) *Snapshot {
+	dirty := make(map[string]bool, len(d.Entities))
+	for _, id := range d.Entities {
+		dirty[id] = true
+	}
+	next := &Snapshot{
+		memo:        s.memo,
+		thetaIndex:  s.thetaIndex,
+		tags:        make(map[string][]Entry, len(s.tags)+len(d.Tags)),
+		order:       make([]string, 0, len(s.order)+len(d.Tags)),
+		resolveHist: s.resolveHist,
+		exactCtr:    s.exactCtr,
+		similarCtr:  s.similarCtr,
+	}
+	for _, t := range s.order {
+		next.tags[t] = s.tags[t]
+		next.order = append(next.order, t)
+	}
+	for i, t := range d.Tags {
+		base, exists := next.tags[t]
+		if !exists {
+			next.order = append(next.order, t)
+		}
+		next.tags[t] = mergePostings(base, d.Postings[i], dirty)
+	}
+	return next
+}
+
+// mergePostings merges fresh entries for the dirty entities into a base
+// posting list: base entries belonging to a dirty entity are dropped
+// (superseded), and the two sorted lists interleave by (degree desc, entity
+// ID asc). The result is always non-nil, matching what a batch build
+// produces for an empty posting list.
+func mergePostings(base, fresh []Entry, dirty map[string]bool) []Entry {
+	out := make([]Entry, 0, len(base)+len(fresh))
+	i, j := 0, 0
+	for i < len(base) || j < len(fresh) {
+		// Skip superseded base entries first so the comparison below only
+		// ever sees entries that belong in the output.
+		if i < len(base) && dirty[base[i].EntityID] {
+			i++
+			continue
+		}
+		switch {
+		case i >= len(base):
+			out = append(out, fresh[j])
+			j++
+		case j >= len(fresh):
+			out = append(out, base[i])
+			i++
+		case postingLess(fresh[j], base[i]):
+			out = append(out, fresh[j])
+			j++
+		default:
+			out = append(out, base[i])
+			i++
+		}
+	}
+	return out
+}
+
+// postingLess is the global posting order: degree descending, entity ID
+// ascending on ties.
+func postingLess(a, b Entry) bool {
+	if a.Degree != b.Degree {
+		return a.Degree > b.Degree
+	}
+	return a.EntityID < b.EntityID
+}

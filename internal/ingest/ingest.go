@@ -1,0 +1,790 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"saccs/internal/index"
+	"saccs/internal/obs"
+)
+
+// Config wires an Ingester.
+type Config struct {
+	// FS is the filesystem seam (nil → OSFS). Only consulted when Dir is
+	// set.
+	FS FS
+	// Dir is the durability directory: WAL segments, entity-state
+	// checkpoints, and base/delta snapshot files live here. Empty disables
+	// durability — appends still flow into the index with bounded staleness,
+	// but nothing survives a restart.
+	Dir string
+	// Fsync is the WAL durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// SegmentBytes rotates WAL segments (default 1 MiB).
+	SegmentBytes int
+	// PublishEvery bounds staleness by count: a publication runs once this
+	// many reviews are pending (default 64; negative disables the count
+	// trigger).
+	PublishEvery int
+	// PublishInterval bounds staleness by time: a background ticker
+	// publishes any pending reviews at least this often (default 250ms; 0 or
+	// negative disables the ticker — Flush and PublishEvery still publish).
+	PublishInterval time.Duration
+	// CompactAfter folds the delta stack into a fresh base after this many
+	// publications (default 8; negative disables auto-compaction).
+	CompactAfter int
+	// Obs receives ingest telemetry (nil disables).
+	Obs *obs.Observer
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (c Config) withDefaults() Config {
+	if c.FS == nil {
+		c.FS = OSFS{}
+	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 1 << 20
+	}
+	if c.PublishEvery == 0 {
+		c.PublishEvery = 64
+	}
+	if c.PublishInterval == 0 && c.PublishEvery >= 0 {
+		c.PublishInterval = 250 * time.Millisecond
+	}
+	if c.CompactAfter == 0 {
+		c.CompactAfter = 8
+	}
+	return c
+}
+
+// ExtractFunc turns a batch of review texts into per-review tag lists:
+// out[i] are the subjective tags of texts[i]. It must be deterministic and
+// must match whatever extraction built the batch world the stream is
+// compared against — the bit-identity guarantee is "same extraction, same
+// review order ⇒ same index", not "any extraction".
+type ExtractFunc func(texts []string) [][]string
+
+// entityState is one entity's accumulated stream state: how many reviews
+// have arrived and every tag extracted from them, in arrival order. This is
+// exactly the index.EntityReviews a batch build would be handed, which is
+// why a delta recomputed from it is bit-identical to the batch posting.
+type entityState struct {
+	reviews int
+	tags    []string
+}
+
+// pendingReview is an acknowledged review whose tags have not been folded
+// into the index yet (extraction runs per publication batch, not per
+// append).
+type pendingReview struct {
+	seq    uint64
+	entity string
+	text   string
+}
+
+// Ingester is the streaming write path: Append acknowledges a review once
+// the WAL has it durable, publication batches turn pending reviews into a
+// mini-snapshot merged into the live index.Snapshot, and compaction folds
+// the accumulated state into a checkpoint + base snapshot and truncates the
+// WAL. Safe for concurrent use; readers querying the index are never
+// blocked (they pin immutable snapshots).
+type Ingester struct {
+	cfg     Config
+	extract ExtractFunc
+
+	mu         sync.Mutex
+	ix         *index.Index
+	wal        *WAL // nil when cfg.Dir == ""
+	tags       []string
+	state      map[string]*entityState
+	order      []string // entity first-seen order (deterministic iteration)
+	pending    []pendingReview
+	oldestWait time.Time // arrival of pending[0] (publish-lag numerator)
+	appended   uint64    // count-only when wal == nil
+	published  uint64    // watermark of the last publication
+	deltaCount int       // publications since the last compaction
+	closed     bool
+
+	done chan struct{} // closes the staleness ticker
+	tick *time.Ticker
+
+	appendHist  *obs.Histogram
+	publishHist *obs.Histogram
+	lagHist     *obs.Histogram
+	pendGauge   *obs.Gauge
+	compactCtr  *obs.Counter
+	recoverHist *obs.Histogram
+}
+
+// Open starts an ingester feeding ix. tags is the indexed tag list deltas
+// are computed over (every publication covers all of them, so merged
+// generations stay equivalent to batch builds); seed is the entity state the
+// stream continues from — typically the batch-built world, or nil to start
+// empty. When cfg.Dir is set, Open recovers first: the newest valid
+// checkpoint restores entity state, any surviving base + delta stack is
+// published as an interim generation, the WAL tail past the checkpoint is
+// replayed through extract, and a full deterministic build is published — so
+// no acknowledged review is ever lost.
+func Open(cfg Config, ix *index.Index, tags []string, seed []index.EntityReviews, extract ExtractFunc) (*Ingester, error) {
+	if extract == nil {
+		return nil, fmt.Errorf("ingest: nil extract function")
+	}
+	cfg = cfg.withDefaults()
+	ing := &Ingester{
+		cfg:         cfg,
+		extract:     extract,
+		ix:          ix,
+		tags:        append([]string(nil), tags...),
+		state:       map[string]*entityState{},
+		done:        make(chan struct{}),
+		appendHist:  cfg.Obs.Histogram("ingest.append"),
+		publishHist: cfg.Obs.Histogram("ingest.publish"),
+		lagHist:     cfg.Obs.Histogram("ingest.publish.lag"),
+		pendGauge:   cfg.Obs.Gauge("ingest.pending"),
+		compactCtr:  cfg.Obs.Counter("ingest.compactions.total"),
+		recoverHist: cfg.Obs.Histogram("ingest.recover"),
+	}
+	for _, er := range seed {
+		ing.noteEntityLocked(er.EntityID)
+		st := ing.state[er.EntityID]
+		st.reviews = er.ReviewCount
+		st.tags = append([]string(nil), er.Tags...)
+	}
+	if cfg.Dir != "" {
+		if err := ing.recover(); err != nil {
+			return nil, err
+		}
+	} else if !ing.vocabularyPublished() {
+		// The caller handed us a virgin index. Without this build, the empty
+		// zero-tag generation would stay published until the first delta
+		// round, and a concurrent reader could pin a snapshot no batch build
+		// of any append prefix produces. Publish the seeded world — with the
+		// vocabulary registered — before Open returns, matching the
+		// postcondition the recovery path already guarantees. (An index
+		// already built over the seed, the facade's case, is left untouched.)
+		if err := ing.rebuildLocked(context.Background()); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.PublishInterval > 0 {
+		ing.tick = time.NewTicker(cfg.PublishInterval)
+		go ing.tickLoop()
+	}
+	return ing, nil
+}
+
+func (g *Ingester) tickLoop() {
+	for {
+		select {
+		case <-g.done:
+			return
+		case <-g.tick.C:
+			g.mu.Lock()
+			if !g.closed && len(g.pending) > 0 {
+				_ = g.publishLocked(context.Background())
+			}
+			g.mu.Unlock()
+		}
+	}
+}
+
+// noteEntityLocked registers an entity on first sight, preserving arrival
+// order.
+func (g *Ingester) noteEntityLocked(id string) {
+	if _, ok := g.state[id]; !ok {
+		g.state[id] = &entityState{}
+		g.order = append(g.order, id)
+	}
+}
+
+// Append acknowledges one review. With a WAL the call returns only after
+// the record is durable under the configured fsync policy (FsyncAlways: on
+// stable storage before the ack); without one it is a purely in-memory
+// enqueue. The review's tags become queryable within the staleness bound —
+// after at most PublishEvery further appends or PublishInterval elapsed
+// time, whichever comes first.
+func (g *Ingester) Append(ctx context.Context, entityID, review string) (uint64, error) {
+	if entityID == "" {
+		return 0, fmt.Errorf("ingest: empty entity ID")
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return 0, fmt.Errorf("ingest: ingester is closed")
+	}
+	var seq uint64
+	if g.wal != nil {
+		var err error
+		seq, err = g.wal.Append(entityID, review)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		g.appended++
+		seq = g.appended
+	}
+	g.noteEntityLocked(entityID)
+	if len(g.pending) == 0 {
+		g.oldestWait = t0
+	}
+	g.pending = append(g.pending, pendingReview{seq: seq, entity: entityID, text: review})
+	g.pendGauge.Set(float64(len(g.pending)))
+	if g.cfg.PublishEvery > 0 && len(g.pending) >= g.cfg.PublishEvery {
+		if err := g.publishLocked(ctx); err != nil {
+			// The review is durable and will surface on the next
+			// publication (or recovery); the ack stands.
+			g.cfg.Obs.Counter("ingest.publish.errors.total").Inc()
+		}
+	}
+	g.appendHist.Observe(time.Since(t0))
+	return seq, nil
+}
+
+// Flush publishes every pending review and, with a WAL under FsyncBatch,
+// syncs it first. After Flush returns the published snapshot reflects every
+// acknowledged append — the quiescence point the differential oracle
+// compares at.
+func (g *Ingester) Flush(ctx context.Context) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("ingest: ingester is closed")
+	}
+	if g.wal != nil {
+		if err := g.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	if len(g.pending) == 0 {
+		return nil
+	}
+	return g.publishLocked(ctx)
+}
+
+// publishLocked is one delta round: batch-extract the pending reviews, fold
+// them into the per-entity state, recompute the dirty entities' postings
+// over the full tag list, merge-publish the next generation, and (with a
+// Dir) write the mini-snapshot file. Caller holds g.mu.
+func (g *Ingester) publishLocked(ctx context.Context) error {
+	t0 := time.Now()
+	batch := g.pending
+	texts := make([]string, len(batch))
+	for i, p := range batch {
+		texts[i] = p.text
+	}
+	tagLists := g.extract(texts)
+	if len(tagLists) != len(batch) {
+		return fmt.Errorf("ingest: extractor returned %d tag lists for %d reviews", len(tagLists), len(batch))
+	}
+	// Oldest pending review first: state accumulation must follow arrival
+	// order so the degree computation sees the same tag sequence a batch
+	// build would.
+	dirtySet := map[string]bool{}
+	for i, p := range batch {
+		st := g.state[p.entity]
+		st.reviews++
+		st.tags = append(st.tags, tagLists[i]...)
+		dirtySet[p.entity] = true
+	}
+	dirty := make([]index.EntityReviews, 0, len(dirtySet))
+	for _, id := range g.order {
+		if !dirtySet[id] {
+			continue
+		}
+		st := g.state[id]
+		dirty = append(dirty, index.EntityReviews{EntityID: id, ReviewCount: st.reviews, Tags: st.tags})
+	}
+	d, err := g.ix.MergeDelta(ctx, g.tags, dirty)
+	if err != nil {
+		// Extraction already mutated the state; rather than unwind it,
+		// republish these entities on the next round.
+		return err
+	}
+	watermark := batch[len(batch)-1].seq
+	d.Seq = watermark
+	g.pending = g.pending[len(batch):]
+	if len(g.pending) == 0 {
+		g.pending = nil
+	}
+	g.published = watermark
+	g.pendGauge.Set(float64(len(g.pending)))
+	g.publishHist.Observe(time.Since(t0))
+	// Publish lag: how long the oldest review in the batch waited between
+	// acknowledgment and becoming queryable — the staleness the
+	// PublishEvery/PublishInterval knobs bound.
+	if !g.oldestWait.IsZero() {
+		g.lagHist.Observe(time.Since(g.oldestWait))
+		g.oldestWait = time.Time{}
+	}
+	if g.cfg.Dir != "" {
+		// Delta files are derived data (the WAL is the durability source),
+		// so a write failure only costs the recovery fast path.
+		g.writeDeltaFile(d)
+	}
+	g.deltaCount++
+	if g.cfg.CompactAfter > 0 && g.deltaCount >= g.cfg.CompactAfter {
+		if err := g.compactLocked(); err != nil {
+			g.cfg.Obs.Counter("ingest.compact.errors.total").Inc()
+		}
+	}
+	return nil
+}
+
+func deltaName(seq uint64) string { return fmt.Sprintf("delta-%016x.snap", seq) }
+func baseName(seq uint64) string  { return fmt.Sprintf("base-%016x.snap", seq) }
+func ckptName(seq uint64) string  { return fmt.Sprintf("state-%016x.ckpt", seq) }
+
+func (g *Ingester) writeDeltaFile(d *index.Delta) {
+	f, err := g.cfg.FS.Create(join(g.cfg.Dir, deltaName(d.Seq)))
+	if err != nil {
+		return
+	}
+	_ = index.WriteDelta(f, 0, d)
+	_ = f.Close()
+}
+
+// Compact folds the ingested state into durable artifacts: an entity-state
+// checkpoint and a base snapshot at the published watermark, after which the
+// delta files and every WAL segment at or below the watermark are removed.
+// Pending (unpublished) reviews stay in the WAL. Compaction is incremental
+// in effect only — a crash anywhere during it recovers, because the
+// checkpoint is made durable (tmp + sync + rename) before anything is
+// deleted.
+func (g *Ingester) Compact() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("ingest: ingester is closed")
+	}
+	return g.compactLocked()
+}
+
+func (g *Ingester) compactLocked() error {
+	g.deltaCount = 0
+	if g.cfg.Dir == "" {
+		return nil
+	}
+	watermark := g.published
+	if err := g.writeCheckpointLocked(watermark); err != nil {
+		return err
+	}
+	// Base snapshot: the published generation at the watermark (pending
+	// reviews are not in it by construction — they have not been published).
+	if f, err := g.cfg.FS.Create(join(g.cfg.Dir, baseName(watermark))); err == nil {
+		_ = g.ix.Current().WriteBase(f, watermark)
+		_ = f.Sync()
+		_ = f.Close()
+	}
+	// Now that the checkpoint is durable, drop superseded artifacts:
+	// older checkpoints/bases, folded deltas, covered WAL segments.
+	if names, err := g.cfg.FS.ReadDir(g.cfg.Dir); err == nil {
+		for _, n := range names {
+			var seq uint64
+			switch {
+			case parseSeq(n, "state-", ".ckpt", &seq) && seq < watermark,
+				parseSeq(n, "base-", ".snap", &seq) && seq < watermark,
+				parseSeq(n, "delta-", ".snap", &seq) && seq <= watermark:
+				if err := g.cfg.FS.Remove(join(g.cfg.Dir, n)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if g.wal != nil {
+		if err := g.wal.TruncateTo(watermark); err != nil {
+			return err
+		}
+	}
+	g.compactCtr.Inc()
+	return nil
+}
+
+// checkpointFile is the durable entity-state format: everything needed to
+// continue the stream (and rebuild the index) without the reviews
+// themselves.
+type checkpointFile struct {
+	Version  int              `json:"version"`
+	Seq      uint64           `json:"seq"`
+	Tags     []string         `json:"tags"`
+	Entities []checkpointment `json:"entities"`
+}
+
+type checkpointment struct {
+	ID      string   `json:"id"`
+	Reviews int      `json:"reviews"`
+	Tags    []string `json:"tags"`
+}
+
+const checkpointVersion = 1
+
+func (g *Ingester) writeCheckpointLocked(watermark uint64) error {
+	ck := checkpointFile{Version: checkpointVersion, Seq: watermark, Tags: g.tags}
+	for _, id := range g.order {
+		st := g.state[id]
+		ck.Entities = append(ck.Entities, checkpointment{ID: id, Reviews: st.reviews, Tags: st.tags})
+	}
+	tmp := join(g.cfg.Dir, ckptName(watermark)+".tmp")
+	f, err := g.cfg.FS.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(ck); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return g.cfg.FS.Rename(tmp, join(g.cfg.Dir, ckptName(watermark)))
+}
+
+// parseSeq extracts the hex watermark from names like prefix-XXXXXXXX.suffix.
+func parseSeq(name, prefix, suffix string, out *uint64) bool {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	var v uint64
+	if _, err := fmt.Sscanf(hex, "%x", &v); err != nil || len(hex) != 16 {
+		return false
+	}
+	*out = v
+	return true
+}
+
+// recover restores state from cfg.Dir: newest valid checkpoint → entity
+// state and tag list; surviving base + delta stack → interim published
+// generation (best-effort fast path); WAL records past the checkpoint →
+// re-extracted and folded in; then one full deterministic build is
+// published. Acked-but-unpublished reviews thus reappear exactly as if they
+// had streamed in normally.
+func (g *Ingester) recover() error {
+	t0 := time.Now()
+	fsys := g.cfg.FS
+	dir := g.cfg.Dir
+	if err := fsys.MkdirAll(dir); err != nil {
+		return fmt.Errorf("ingest: creating dir: %w", err)
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("ingest: scanning dir: %w", err)
+	}
+
+	// Newest checkpoint that parses wins; torn or unparseable ones (a crash
+	// during the pre-rename sync) fall back to their predecessor.
+	var ckptSeqs []uint64
+	var baseSeqs, deltaSeqs []uint64
+	for _, n := range names {
+		var seq uint64
+		switch {
+		case parseSeq(n, "state-", ".ckpt", &seq):
+			ckptSeqs = append(ckptSeqs, seq)
+		case parseSeq(n, "base-", ".snap", &seq):
+			baseSeqs = append(baseSeqs, seq)
+		case parseSeq(n, "delta-", ".snap", &seq):
+			deltaSeqs = append(deltaSeqs, seq)
+		}
+	}
+	sortDesc(ckptSeqs)
+	var ckptSeq uint64
+	for _, seq := range ckptSeqs {
+		data, rerr := fsys.ReadFile(join(dir, ckptName(seq)))
+		if rerr != nil {
+			continue
+		}
+		var ck checkpointFile
+		if json.Unmarshal(data, &ck) != nil || ck.Version != checkpointVersion || ck.Seq != seq {
+			continue
+		}
+		g.state = map[string]*entityState{}
+		g.order = nil
+		for _, e := range ck.Entities {
+			if e.ID == "" {
+				continue
+			}
+			g.noteEntityLocked(e.ID)
+			st := g.state[e.ID]
+			st.reviews = e.Reviews
+			st.tags = e.Tags
+		}
+		// The checkpoint's tag list is the pre-crash index vocabulary; keep
+		// its order (so the rebuilt index is byte-identical on Save) and
+		// append any caller-supplied tags it does not know about yet.
+		if len(ck.Tags) > 0 {
+			merged := append([]string(nil), ck.Tags...)
+			seen := make(map[string]struct{}, len(merged))
+			for _, tg := range merged {
+				seen[tg] = struct{}{}
+			}
+			for _, tg := range g.tags {
+				if _, ok := seen[tg]; !ok {
+					merged = append(merged, tg)
+				}
+			}
+			g.tags = merged
+		}
+		ckptSeq = seq
+		break
+	}
+
+	// Interim fast path: publish the newest base + its delta stack so
+	// queries see a near-current index while the tail replays. Failures are
+	// ignored — these files are derived data.
+	g.loadStackBestEffort(baseSeqs, deltaSeqs)
+
+	// WAL replay: every record past the checkpoint re-enters the pipeline.
+	wal, recs, err := OpenWAL(fsys, dir, WALOptions{
+		SegmentBytes: g.cfg.SegmentBytes,
+		Fsync:        g.cfg.Fsync,
+		Obs:          g.cfg.Obs,
+	})
+	if err != nil {
+		return err
+	}
+	g.wal = wal
+	wal.EnsureNext(ckptSeq + 1)
+	var tail []Record
+	for _, r := range recs {
+		if r.Seq > ckptSeq {
+			tail = append(tail, r)
+		}
+	}
+	g.published = ckptSeq
+	g.appended = ckptSeq
+	if len(tail) > 0 {
+		texts := make([]string, len(tail))
+		for i, r := range tail {
+			texts[i] = r.Review
+		}
+		tagLists := g.extract(texts)
+		if len(tagLists) != len(tail) {
+			return fmt.Errorf("ingest: extractor returned %d tag lists for %d replayed reviews", len(tagLists), len(tail))
+		}
+		for i, r := range tail {
+			g.noteEntityLocked(r.Entity)
+			st := g.state[r.Entity]
+			st.reviews++
+			st.tags = append(st.tags, tagLists[i]...)
+		}
+		g.published = tail[len(tail)-1].Seq
+		g.appended = g.published
+	}
+
+	// Final authoritative publish: a full build over the recovered state,
+	// byte-identical to the pre-crash quiescent index.
+	if err := g.rebuildLocked(context.Background()); err != nil {
+		return err
+	}
+	g.recoverHist.Observe(time.Since(t0))
+	g.cfg.Obs.Counter("ingest.recoveries.total").Inc()
+	g.cfg.Obs.Gauge("ingest.recover.replayed").Set(float64(len(tail)))
+	return nil
+}
+
+// rebuildLocked publishes a full build of the accumulated stream state over
+// the current vocabulary — the batch build the streamed world must stay
+// equivalent to. Caller holds g.mu (or is still constructing the ingester).
+func (g *Ingester) rebuildLocked(ctx context.Context) error {
+	all := make([]index.EntityReviews, 0, len(g.order))
+	for _, id := range g.order {
+		st := g.state[id]
+		all = append(all, index.EntityReviews{EntityID: id, ReviewCount: st.reviews, Tags: st.tags})
+	}
+	return g.ix.BuildCtx(ctx, g.tags, all)
+}
+
+// vocabularyPublished reports whether the index's current generation already
+// registers every streamed tag — true when the caller handed Open an index
+// built over the seed world, false for a virgin index.
+func (g *Ingester) vocabularyPublished() bool {
+	snap := g.ix.Current()
+	if snap.Len() < len(g.tags) {
+		return false
+	}
+	have := make(map[string]struct{}, snap.Len())
+	snap.EachTag(func(t string) bool {
+		have[t] = struct{}{}
+		return true
+	})
+	for _, t := range g.tags {
+		if _, ok := have[t]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// loadStackBestEffort publishes the newest surviving base + delta stack as
+// an interim generation. Any parse or framing failure abandons the fast
+// path silently — the WAL replay that follows rebuilds everything anyway.
+func (g *Ingester) loadStackBestEffort(baseSeqs, deltaSeqs []uint64) {
+	if len(baseSeqs) == 0 {
+		return
+	}
+	sortDesc(baseSeqs)
+	base := baseSeqs[0]
+	data, err := g.cfg.FS.ReadFile(join(g.cfg.Dir, baseName(base)))
+	if err != nil {
+		return
+	}
+	sort.Slice(deltaSeqs, func(i, j int) bool { return deltaSeqs[i] < deltaSeqs[j] })
+	var deltas []io.Reader
+	for _, seq := range deltaSeqs {
+		if seq <= base {
+			continue
+		}
+		d, derr := g.cfg.FS.ReadFile(join(g.cfg.Dir, deltaName(seq)))
+		if derr != nil {
+			return
+		}
+		deltas = append(deltas, bytes.NewReader(d))
+	}
+	_, _ = g.ix.LoadStack(bytes.NewReader(data), deltas...)
+}
+
+func sortDesc(seqs []uint64) {
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+}
+
+// Published returns the watermark of the last published generation.
+func (g *Ingester) Published() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.published
+}
+
+// Pending returns how many acknowledged reviews await publication.
+func (g *Ingester) Pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.pending)
+}
+
+// State returns a copy of the accumulated entity state in arrival order —
+// the exact input a batch build of the streamed world would receive.
+func (g *Ingester) State() []index.EntityReviews {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]index.EntityReviews, 0, len(g.order))
+	for _, id := range g.order {
+		st := g.state[id]
+		out = append(out, index.EntityReviews{
+			EntityID:    id,
+			ReviewCount: st.reviews,
+			Tags:        append([]string(nil), st.tags...),
+		})
+	}
+	return out
+}
+
+// Tags returns the indexed tag list deltas are computed over.
+func (g *Ingester) Tags() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.tags...)
+}
+
+// AddTags extends the indexed tag list (the Fig. 1 adaptive loop feeding
+// reindexed history tags into the stream). Future publications cover the
+// new tags; with a Dir the widened list becomes durable at the next
+// compaction, which is triggered here so a crash cannot forget it.
+func (g *Ingester) AddTags(tags []string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("ingest: ingester is closed")
+	}
+	have := map[string]bool{}
+	for _, t := range g.tags {
+		have[t] = true
+	}
+	added := false
+	for _, t := range tags {
+		if t != "" && !have[t] {
+			g.tags = append(g.tags, t)
+			have[t] = true
+			added = true
+		}
+	}
+	if added && g.cfg.Dir != "" {
+		return g.compactLocked()
+	}
+	return nil
+}
+
+// Rebase resets the stream to a batch-built world: the given state replaces
+// everything accumulated so far, the WAL is truncated behind a fresh
+// checkpoint, and future appends continue from here. The facade calls this
+// when a full IndexEntities supersedes the streamed state.
+func (g *Ingester) Rebase(ix *index.Index, tags []string, seed []index.EntityReviews) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("ingest: ingester is closed")
+	}
+	g.ix = ix
+	g.tags = append([]string(nil), tags...)
+	g.state = map[string]*entityState{}
+	g.order = nil
+	for _, er := range seed {
+		g.noteEntityLocked(er.EntityID)
+		st := g.state[er.EntityID]
+		st.reviews = er.ReviewCount
+		st.tags = append([]string(nil), er.Tags...)
+	}
+	g.pending = nil
+	g.pendGauge.Set(float64(0))
+	if g.wal != nil {
+		g.published = g.wal.NextSeq() - 1
+		g.appended = g.published
+	} else {
+		g.published = g.appended
+	}
+	g.deltaCount = 0
+	if g.cfg.Dir != "" {
+		return g.compactLocked()
+	}
+	return nil
+}
+
+// Close flushes pending reviews, stops the staleness ticker, and seals the
+// WAL. The ingester is unusable afterwards.
+func (g *Ingester) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	if g.tick != nil {
+		g.tick.Stop()
+	}
+	close(g.done)
+	var err error
+	if len(g.pending) > 0 {
+		err = g.publishLocked(context.Background())
+	}
+	if g.wal != nil {
+		if cerr := g.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	g.mu.Unlock()
+	return err
+}

@@ -1,0 +1,274 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the failure MemFS returns once its operation budget is
+// exhausted (SetFailAfter). Callers distinguish it from genuine corruption
+// in tests.
+var ErrInjected = errors.New("ingest: injected fault")
+
+// MemFS is the fault-injection filesystem for the crash-recovery harness.
+// It models the property real filesystems have and unit tests usually
+// ignore: a successful Write is NOT durable. Each file tracks its durable
+// prefix — only Sync extends it — and Crash returns the filesystem a machine
+// reset would leave behind: every file cut back to its durable prefix, plus
+// an optional torn fragment of the unsynced suffix (a partially persisted
+// write). SetFailAfter makes the n+1-th mutating operation (and every one
+// after it) fail with ErrInjected, so a test can kill the ingester at an
+// exact write, sync, or truncate boundary and then Crash it.
+//
+// MemFS is safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	// budget counts remaining mutating operations; <0 means unlimited.
+	budget int64
+}
+
+type memFile struct {
+	data    []byte
+	durable int
+}
+
+// NewMemFS returns an empty in-memory filesystem with fault injection
+// disabled.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, budget: -1}
+}
+
+// SetFailAfter arms fault injection: the next n mutating operations (Write,
+// Sync, Truncate, Remove, Rename, Create, Append) succeed, then every
+// subsequent one fails with ErrInjected. Negative n disables injection.
+func (m *MemFS) SetFailAfter(n int64) {
+	m.mu.Lock()
+	m.budget = n
+	m.mu.Unlock()
+}
+
+// spend consumes one unit of the operation budget; it reports false once
+// the budget is exhausted. Callers hold m.mu.
+func (m *MemFS) spend() bool {
+	if m.budget < 0 {
+		return true
+	}
+	if m.budget == 0 {
+		return false
+	}
+	m.budget--
+	return true
+}
+
+// Crash simulates a machine reset and returns the surviving filesystem:
+// every file truncated to its durable prefix plus up to torn bytes of the
+// unsynced suffix (a torn write). Deleted files stay deleted. The original
+// MemFS is untouched, so one pre-crash state can seed many kill points.
+func (m *MemFS) Crash(torn int) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for name, f := range m.files {
+		keep := f.durable
+		if extra := len(f.data) - f.durable; extra > 0 && torn > 0 {
+			if extra > torn {
+				extra = torn
+			}
+			keep += extra
+		}
+		out.files[name] = &memFile{data: append([]byte(nil), f.data[:keep]...), durable: keep}
+	}
+	return out
+}
+
+// DurableLen returns how many bytes of name would survive a crash (0 when
+// the file does not exist).
+func (m *MemFS) DurableLen(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return f.durable
+	}
+	return 0
+}
+
+// Len returns name's current (buffered) size, or 0 when absent.
+func (m *MemFS) Len(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return len(f.data)
+	}
+	return 0
+}
+
+// Corrupt flips one byte at off in name (test helper for CRC coverage).
+func (m *MemFS) Corrupt(name string, off int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok || off < 0 || off >= len(f.data) {
+		return fmt.Errorf("ingest: corrupt %q at %d: out of range", name, off)
+	}
+	f.data[off] ^= 0xff
+	return nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.spend() {
+		return nil, fmt.Errorf("create %s: %w", name, ErrInjected)
+	}
+	m.files[name] = &memFile{}
+	return &memHandle{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.spend() {
+		return nil, fmt.Errorf("append %s: %w", name, ErrInjected)
+	}
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = &memFile{}
+	}
+	return &memHandle{fs: m, name: name}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := filepath.Clean(dir) + string(filepath.Separator)
+	var names []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], string(filepath.Separator)) {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.spend() {
+		return fmt.Errorf("remove %s: %w", name, ErrInjected)
+	}
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.spend() {
+		return fmt.Errorf("rename %s: %w", oldpath, ErrInjected)
+	}
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+// MkdirAll is a no-op: MemFS files are keyed by full path.
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+// memHandle is an open MemFS file. All writes append (the only access
+// pattern the ingest tier uses); Truncate cuts the buffered tail.
+type memHandle struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+func (h *memHandle) file() (*memFile, error) {
+	f, ok := h.fs.files[h.name]
+	if !ok || h.closed {
+		return nil, &fs.PathError{Op: "write", Path: h.name, Err: fs.ErrClosed}
+	}
+	return f, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	if !h.fs.spend() {
+		// A failed write may still have persisted a prefix — that is exactly
+		// the torn-write hazard the WAL must back out of. Model the worst
+		// case: half the payload lands in the buffer.
+		n := len(p) / 2
+		f.data = append(f.data, p[:n]...)
+		return n, fmt.Errorf("write %s: %w", h.name, ErrInjected)
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	if !h.fs.spend() {
+		return fmt.Errorf("sync %s: %w", h.name, ErrInjected)
+	}
+	f.durable = len(f.data)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	if !h.fs.spend() {
+		return fmt.Errorf("truncate %s: %w", h.name, ErrInjected)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("truncate %s: size %d out of range", h.name, size)
+	}
+	f.data = f.data[:size]
+	if f.durable > int(size) {
+		f.durable = int(size)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

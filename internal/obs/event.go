@@ -15,7 +15,7 @@ import (
 // and why" answerable after the fact.
 type Event struct {
 	Time time.Time `json:"time"`
-	// Kind is the request type: "query", "extract", or "reindex".
+	// Kind is the request type: "query", "extract", "reindex", or "append".
 	Kind  string  `json:"kind"`
 	Trace TraceID `json:"trace_id"`
 	Root  SpanID  `json:"span_id"`

@@ -35,6 +35,7 @@ import (
 	"saccs/internal/experiments"
 	"saccs/internal/extcache"
 	"saccs/internal/index"
+	"saccs/internal/ingest"
 	"saccs/internal/lexicon"
 	"saccs/internal/obs"
 	"saccs/internal/pairing"
@@ -119,6 +120,22 @@ type Config struct {
 	// into balanced forwards of at most this many sequences. Values below 2
 	// disable cross-request batching.
 	BatchMaxSize int
+	// WALDir, when non-empty, makes streamed reviews durable: AppendReview
+	// acknowledges only after the review is fsynced into a write-ahead log
+	// under this directory, and New replays the log (checkpoint + WAL tail)
+	// so a crash never loses an acknowledged review. "" keeps streaming
+	// purely in memory — AppendReview still works, with no durability.
+	WALDir string
+	// IngestPublishEvery bounds staleness by count: streamed reviews are
+	// folded into the published index after this many accumulate
+	// (DefaultConfig: 64). 0 picks the engine default (also 64); negative
+	// disables count-triggered publication (interval or Quiesce only).
+	IngestPublishEvery int
+	// IngestPublishInterval bounds staleness by time: a background tick
+	// publishes any pending streamed reviews at least this often
+	// (DefaultConfig: 250ms). 0 picks the engine default (250ms); negative
+	// disables the ticker (count trigger or Quiesce only).
+	IngestPublishInterval time.Duration
 }
 
 // DefaultConfig returns the recommended configuration.
@@ -135,6 +152,9 @@ func DefaultConfig() Config {
 		ExtractCacheSize: 4096,
 		BatchWindow:      250 * time.Microsecond,
 		BatchMaxSize:     16,
+
+		IngestPublishEvery:    64,
+		IngestPublishInterval: 250 * time.Millisecond,
 	}
 }
 
@@ -163,7 +183,7 @@ func Float(v float64) *float64 { return &v }
 // partial results and published no partial state.
 type StageError struct {
 	// Stage names the pipeline stage that observed the failure: "parse",
-	// "extract", "objective", "rank", "index", or "reindex".
+	// "extract", "objective", "rank", "index", "reindex", or "append".
 	Stage string
 	// Err is the context's error (or a wrapper around it).
 	Err error
@@ -236,6 +256,12 @@ type Client struct {
 	// Readers only Load; writeMu serializes the writers that swap it.
 	w       atomic.Pointer[world]
 	writeMu sync.Mutex
+
+	// ing is the streaming ingester behind AppendReview: nil until the first
+	// append (or until New recovers a WALDir). Guarded by writeMu; the
+	// ingester itself is internally synchronized, and the lock order is
+	// always writeMu → ingester, never the reverse.
+	ing *ingest.Ingester
 
 	// o is the client's always-on metrics registry plus an optional tracer
 	// attached via SetTraceSink.
@@ -321,6 +347,17 @@ func New(cfg Config) (*Client, error) {
 		o:       o,
 	}
 	c.w.Store(&world{entities: map[string]Entity{}, idx: idx, history: hist})
+	// A durable WAL directory is opened eagerly so a restart recovers its
+	// streamed world (checkpoint + WAL replay) before the first call — not
+	// only once somebody happens to append.
+	if cfg.WALDir != "" {
+		c.writeMu.Lock()
+		err := c.openIngestLocked()
+		c.writeMu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("saccs: recovering ingest state: %w", err)
+		}
+	}
 	return c, nil
 }
 
@@ -448,9 +485,141 @@ func (c *Client) IndexEntitiesCtx(ctx context.Context, entities []Entity, tags [
 	hist := index.NewHistory()
 	hist.SetCap(c.cfg.HistoryLimit)
 	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
 	c.w.Store(&world{entities: ents, reviews: reviews, idx: idx, history: hist})
-	c.writeMu.Unlock()
+	if c.ing != nil {
+		// The batch world supersedes the streamed one: rebase the ingester on
+		// the fresh index (checkpointing and truncating the WAL behind it) so
+		// future appends continue from here.
+		if err := c.ing.Rebase(idx, low, reviews); err != nil {
+			return &StageError{Stage: "index", Err: err}
+		}
+	}
 	return nil
+}
+
+// AppendReview streams one review into an entity's record: the review is
+// made durable (fsynced into the WAL when Config.WALDir is set) before the
+// call returns, its tags are extracted in the background, and the published
+// index absorbs it within the bounded-staleness window
+// (Config.IngestPublishEvery reviews or Config.IngestPublishInterval,
+// whichever comes first). An unknown entity ID is registered as a stub
+// entity visible to objective filtering; review text is not retained in the
+// entity's Reviews.
+//
+// Queries racing an append keep the lock-free snapshot contract: a reader
+// sees either the generation before the fold or after it — never a torn
+// one — and each published generation reflects a strict prefix of the
+// append order.
+func (c *Client) AppendReview(entityID, review string) error {
+	return c.AppendReviewCtx(context.Background(), entityID, review)
+}
+
+// AppendReviewCtx is AppendReview with request telemetry (one "append"
+// request per call) and cooperative cancellation of the publish that may
+// piggyback on this append. The durability acknowledgment itself is not
+// cancellable: once the call returns nil the review is on disk.
+func (c *Client) AppendReviewCtx(ctx context.Context, entityID, review string) error {
+	ctx, req := c.o.StartRequest(ctx, "append")
+	req.Ev.UtteranceLen = len(review)
+	fail := func(err error) error {
+		serr := &StageError{Stage: "append", Err: err}
+		req.Finish(serr)
+		return serr
+	}
+	if entityID == "" {
+		return fail(fmt.Errorf("empty entity ID"))
+	}
+	c.writeMu.Lock()
+	if c.ing == nil {
+		if err := c.openIngestLocked(); err != nil {
+			c.writeMu.Unlock()
+			return fail(err)
+		}
+	}
+	// Register the entity stub before the append is durable: a review must
+	// never be acknowledged for an entity queries cannot see.
+	w := c.w.Load()
+	if _, ok := w.entities[entityID]; !ok {
+		ents := make(map[string]Entity, len(w.entities)+1)
+		for k, v := range w.entities {
+			ents[k] = v
+		}
+		ents[entityID] = Entity{ID: entityID}
+		c.w.Store(&world{entities: ents, reviews: w.reviews, idx: w.idx, history: w.history})
+	}
+	_, err := c.ing.Append(ctx, entityID, review)
+	c.writeMu.Unlock()
+	if err != nil {
+		return fail(err)
+	}
+	req.Finish(nil)
+	return nil
+}
+
+// Quiesce publishes every streamed review that is still pending, so the
+// index reflects all acknowledged appends. It is the streaming counterpart
+// of waiting out the staleness window — tests and graceful drains call it
+// instead of sleeping.
+func (c *Client) Quiesce() error {
+	c.writeMu.Lock()
+	ing := c.ing
+	c.writeMu.Unlock()
+	if ing == nil {
+		return nil
+	}
+	return ing.Flush(context.Background())
+}
+
+// openIngestLocked opens the streaming ingester over the current world,
+// seeding it with the batch-extracted reviews so streamed appends land on
+// top of the indexed corpus. With a WALDir it first recovers any durable
+// state — entities recovered from the log get stub registrations. Caller
+// holds writeMu.
+func (c *Client) openIngestLocked() error {
+	w := c.w.Load()
+	ing, err := ingest.Open(ingest.Config{
+		Dir:             c.cfg.WALDir,
+		PublishEvery:    c.cfg.IngestPublishEvery,
+		PublishInterval: c.cfg.IngestPublishInterval,
+		Obs:             c.o,
+	}, w.idx, w.idx.Tags(), w.reviews, c.extractReviewTags)
+	if err != nil {
+		return err
+	}
+	c.ing = ing
+	// Recovery can resurface entities the in-memory world has never seen
+	// (their reviews arrived through the WAL in a previous process): give
+	// each a stub so objective filtering can see them.
+	var missing []string
+	for _, er := range ing.State() {
+		if _, ok := w.entities[er.EntityID]; !ok {
+			missing = append(missing, er.EntityID)
+		}
+	}
+	if len(missing) > 0 {
+		ents := make(map[string]Entity, len(w.entities)+len(missing))
+		for k, v := range w.entities {
+			ents[k] = v
+		}
+		for _, id := range missing {
+			ents[id] = Entity{ID: id}
+		}
+		c.w.Store(&world{entities: ents, reviews: w.reviews, idx: w.idx, history: w.history})
+	}
+	return nil
+}
+
+// extractReviewTags is the ingester's extraction hook: per review it runs
+// exactly what the batch IndexEntities path runs (core.Extractor.ExtractTags,
+// which dedupes across a review's sentences), so a streamed world and a
+// batch world extract identically.
+func (c *Client) extractReviewTags(texts []string) [][]string {
+	out := make([][]string, len(texts))
+	for i, t := range texts {
+		out[i] = c.extr.ExtractTags(t)
+	}
+	return out
 }
 
 // IndexedTags returns the current index keys.
@@ -492,6 +661,13 @@ func (c *Client) ReindexCtx(ctx context.Context) ([]string, error) {
 	if err := w.idx.BuildCtx(ctx, pend, w.reviews); err != nil {
 		w.history.Requeue(pend)
 		return fail(err)
+	}
+	if c.ing != nil {
+		// Widen the streaming vocabulary too, so future delta publications
+		// cover the tags just reindexed (durably, when a WALDir is set).
+		if err := c.ing.AddTags(pend); err != nil {
+			return fail(err)
+		}
 	}
 	req.Ev.Tags = len(pend)
 	req.Ev.Generation = w.idx.Current().Generation()
@@ -706,10 +882,23 @@ func (c *Client) Events() []obs.Event { return c.o.Telemetry().Events() }
 // :slow command expose.
 func (c *Client) SlowQueries() []obs.Event { return c.o.Telemetry().SlowQueries() }
 
-// Shutdown marks the client not-ready (the /readyz endpoint turns 503) and
-// stops background telemetry. The client still answers queries — shutdown
-// only signals orchestrators to drain traffic. Safe to call more than once.
-func (c *Client) Shutdown() { c.o.Telemetry().Close() }
+// Shutdown marks the client not-ready (the /readyz endpoint turns 503),
+// stops background telemetry, and seals the streaming ingester: pending
+// streamed reviews are published and the WAL is closed cleanly, so a
+// restart recovers from the checkpoint without replay repairs. The client
+// still answers queries — shutdown only signals orchestrators to drain
+// traffic. Safe to call more than once; AppendReview after Shutdown reopens
+// the stream.
+func (c *Client) Shutdown() {
+	c.writeMu.Lock()
+	ing := c.ing
+	c.ing = nil
+	c.writeMu.Unlock()
+	if ing != nil {
+		_ = ing.Close()
+	}
+	c.o.Telemetry().Close()
+}
 
 // SetTraceSink enables span tracing into sink (for example
 // obs.NewRingSink(512) or obs.NewJSONLSink(file)); a nil sink disables
