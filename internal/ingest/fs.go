@@ -40,6 +40,12 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 	// MkdirAll ensures dir exists.
 	MkdirAll(dir string) error
+	// SyncDir makes dir's entries durable. File Syncs persist content only:
+	// a Create, Rename, or Remove survives a crash only once the parent
+	// directory is synced, so every durability acknowledgment that depends
+	// on a file existing (a fresh WAL segment, a renamed checkpoint) must
+	// be fenced by SyncDir.
+	SyncDir(dir string) error
 }
 
 // File is an open writable file. Write buffers; Sync makes everything
@@ -83,6 +89,18 @@ func (OSFS) ReadDir(dir string) ([]string, error) {
 func (OSFS) Remove(name string) error             { return os.Remove(name) }
 func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 func (OSFS) MkdirAll(dir string) error            { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // join builds a path inside dir; factored so both FS implementations agree
 // on the key format.

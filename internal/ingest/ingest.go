@@ -34,8 +34,10 @@ type Config struct {
 	// trigger).
 	PublishEvery int
 	// PublishInterval bounds staleness by time: a background ticker
-	// publishes any pending reviews at least this often (default 250ms; 0 or
-	// negative disables the ticker — Flush and PublishEvery still publish).
+	// publishes any pending reviews at least this often. 0 picks the 250ms
+	// default — even when the count trigger is disabled, so appends never
+	// silently stall; negative disables the ticker (Flush and PublishEvery
+	// still publish).
 	PublishInterval time.Duration
 	// CompactAfter folds the delta stack into a fresh base after this many
 	// publications (default 8; negative disables auto-compaction).
@@ -55,7 +57,7 @@ func (c Config) withDefaults() Config {
 	if c.PublishEvery == 0 {
 		c.PublishEvery = 64
 	}
-	if c.PublishInterval == 0 && c.PublishEvery >= 0 {
+	if c.PublishInterval == 0 {
 		c.PublishInterval = 250 * time.Millisecond
 	}
 	if c.CompactAfter == 0 {
@@ -289,27 +291,35 @@ func (g *Ingester) publishLocked(ctx context.Context) error {
 	}
 	// Oldest pending review first: state accumulation must follow arrival
 	// order so the degree computation sees the same tag sequence a batch
-	// build would.
-	dirtySet := map[string]bool{}
+	// build would. The fold runs on staged copies — g.state commits only
+	// after MergeDelta succeeds, so a failed or cancelled merge leaves the
+	// batch fully pending and the retry re-folds from scratch instead of
+	// double-counting reviews and duplicating tags.
+	staged := map[string]*entityState{}
 	for i, p := range batch {
-		st := g.state[p.entity]
+		st := staged[p.entity]
+		if st == nil {
+			cur := g.state[p.entity]
+			st = &entityState{reviews: cur.reviews, tags: append([]string(nil), cur.tags...)}
+			staged[p.entity] = st
+		}
 		st.reviews++
 		st.tags = append(st.tags, tagLists[i]...)
-		dirtySet[p.entity] = true
 	}
-	dirty := make([]index.EntityReviews, 0, len(dirtySet))
+	dirty := make([]index.EntityReviews, 0, len(staged))
 	for _, id := range g.order {
-		if !dirtySet[id] {
+		st, ok := staged[id]
+		if !ok {
 			continue
 		}
-		st := g.state[id]
 		dirty = append(dirty, index.EntityReviews{EntityID: id, ReviewCount: st.reviews, Tags: st.tags})
 	}
 	d, err := g.ix.MergeDelta(ctx, g.tags, dirty)
 	if err != nil {
-		// Extraction already mutated the state; rather than unwind it,
-		// republish these entities on the next round.
 		return err
+	}
+	for id, st := range staged {
+		g.state[id] = st
 	}
 	watermark := batch[len(batch)-1].seq
 	d.Seq = watermark
@@ -401,6 +411,12 @@ func (g *Ingester) compactLocked() error {
 			}
 		}
 	}
+	// One fence covers the base snapshot's entry and the removals above;
+	// correctness never depends on it (base is derived data, resurrected
+	// removals are skipped by recovery) but the recovery fast path does.
+	if err := g.cfg.FS.SyncDir(g.cfg.Dir); err != nil {
+		return err
+	}
 	if g.wal != nil {
 		if err := g.wal.TruncateTo(watermark); err != nil {
 			return err
@@ -451,7 +467,13 @@ func (g *Ingester) writeCheckpointLocked(watermark uint64) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return g.cfg.FS.Rename(tmp, join(g.cfg.Dir, ckptName(watermark)))
+	if err := g.cfg.FS.Rename(tmp, join(g.cfg.Dir, ckptName(watermark))); err != nil {
+		return err
+	}
+	// Fence the rename: until the directory entry is durable, a crash can
+	// lose the checkpoint file entirely, and compaction must not delete
+	// the WAL segments it supersedes before that.
+	return g.cfg.FS.SyncDir(g.cfg.Dir)
 }
 
 // parseSeq extracts the hex watermark from names like prefix-XXXXXXXX.suffix.

@@ -215,6 +215,49 @@ func TestSeededStreamContinuesBatchWorld(t *testing.T) {
 	}
 }
 
+func TestFailedPublishRetriesWithoutDoubleFolding(t *testing.T) {
+	// A publication that fails inside MergeDelta (here: cancelled context,
+	// the shape a count-triggered publish inherits from its Append's ctx)
+	// must leave the batch fully pending and the entity state untouched —
+	// the retry re-extracts and re-folds from scratch. A fold committed
+	// before the failed merge would double-count every review in the batch
+	// and permanently break batch/stream bit-identity.
+	ix := index.New(flatSim{}, 0.5)
+	ing, err := Open(Config{PublishEvery: -1, PublishInterval: -1}, ix, testTags, nil, splitExtract)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	items := genStream(17, 25, 4, testTags)
+	appendAll(t, ing, items)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 3; i++ {
+		if err := ing.Flush(cancelled); err == nil {
+			t.Fatalf("flush %d with cancelled context succeeded", i)
+		}
+	}
+	if got := ing.Pending(); got != len(items) {
+		t.Fatalf("failed publishes consumed pending reviews: %d left, want %d", got, len(items))
+	}
+	if err := ing.Flush(context.Background()); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	mustEqualIndexes(t, "retry after failed publish", ix, batchIndex(items))
+	if err := ing.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestIntervalDefaultAppliesWithCountTriggerDisabled(t *testing.T) {
+	// PublishEvery < 0 with PublishInterval 0 must still pick the 250ms
+	// ticker default — otherwise appends would never publish until an
+	// explicit Flush, silently violating the documented staleness bound.
+	cfg := Config{PublishEvery: -1}.withDefaults()
+	if cfg.PublishInterval != 250*time.Millisecond {
+		t.Fatalf("PublishInterval default = %v with count trigger disabled, want 250ms", cfg.PublishInterval)
+	}
+}
+
 func TestPublishIntervalBoundsStaleness(t *testing.T) {
 	ix := index.New(flatSim{}, 0.5)
 	// Count trigger effectively off; only the ticker can publish.

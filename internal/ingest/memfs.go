@@ -16,19 +16,28 @@ import (
 var ErrInjected = errors.New("ingest: injected fault")
 
 // MemFS is the fault-injection filesystem for the crash-recovery harness.
-// It models the property real filesystems have and unit tests usually
-// ignore: a successful Write is NOT durable. Each file tracks its durable
-// prefix — only Sync extends it — and Crash returns the filesystem a machine
-// reset would leave behind: every file cut back to its durable prefix, plus
-// an optional torn fragment of the unsynced suffix (a partially persisted
-// write). SetFailAfter makes the n+1-th mutating operation (and every one
-// after it) fail with ErrInjected, so a test can kill the ingester at an
-// exact write, sync, or truncate boundary and then Crash it.
+// It models two properties real filesystems have and unit tests usually
+// ignore. First, a successful Write is NOT durable: each file tracks its
+// durable content prefix, and only Sync extends it. Second, a directory
+// entry is NOT durable either: a file Create (or the new name of a Rename)
+// survives a crash only once SyncDir runs on its directory, and a Remove
+// (or a Rename's old name) of a durably-linked file un-happens on crash
+// until SyncDir makes the unlink stick. Crash returns the filesystem a
+// machine reset would leave behind: files without a durable entry vanish
+// wholly, unsynced removals resurrect with their durable content, and
+// surviving files are cut back to their durable prefix plus an optional
+// torn fragment of the unsynced suffix (a partially persisted write).
+// SetFailAfter makes the n+1-th mutating operation (and every one after it)
+// fail with ErrInjected, so a test can kill the ingester at an exact write,
+// sync, or truncate boundary and then Crash it.
 //
 // MemFS is safe for concurrent use.
 type MemFS struct {
 	mu    sync.Mutex
 	files map[string]*memFile
+	// removed holds durably-linked files whose unlink has not reached a
+	// SyncDir yet: a crash resurrects them with their durable content.
+	removed map[string]*memFile
 	// budget counts remaining mutating operations; <0 means unlimited.
 	budget int64
 }
@@ -36,12 +45,15 @@ type MemFS struct {
 type memFile struct {
 	data    []byte
 	durable int
+	// entryDurable reports whether the directory entry naming this file
+	// would survive a crash (set by SyncDir, not by handle Syncs).
+	entryDurable bool
 }
 
 // NewMemFS returns an empty in-memory filesystem with fault injection
 // disabled.
 func NewMemFS() *MemFS {
-	return &MemFS{files: map[string]*memFile{}, budget: -1}
+	return &MemFS{files: map[string]*memFile{}, removed: map[string]*memFile{}, budget: -1}
 }
 
 // SetFailAfter arms fault injection: the next n mutating operations (Write,
@@ -67,14 +79,19 @@ func (m *MemFS) spend() bool {
 }
 
 // Crash simulates a machine reset and returns the surviving filesystem:
-// every file truncated to its durable prefix plus up to torn bytes of the
-// unsynced suffix (a torn write). Deleted files stay deleted. The original
+// files whose directory entry never reached a SyncDir are gone entirely,
+// files removed (or renamed away) without a SyncDir resurrect with their
+// durable content, and every survivor is truncated to its durable prefix
+// plus up to torn bytes of the unsynced suffix (a torn write). The original
 // MemFS is untouched, so one pre-crash state can seed many kill points.
 func (m *MemFS) Crash(torn int) *MemFS {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := NewMemFS()
 	for name, f := range m.files {
+		if !f.entryDurable {
+			continue
+		}
 		keep := f.durable
 		if extra := len(f.data) - f.durable; extra > 0 && torn > 0 {
 			if extra > torn {
@@ -82,17 +99,23 @@ func (m *MemFS) Crash(torn int) *MemFS {
 			}
 			keep += extra
 		}
-		out.files[name] = &memFile{data: append([]byte(nil), f.data[:keep]...), durable: keep}
+		out.files[name] = &memFile{data: append([]byte(nil), f.data[:keep]...), durable: keep, entryDurable: true}
+	}
+	for name, f := range m.removed {
+		if _, ok := out.files[name]; ok {
+			continue
+		}
+		out.files[name] = &memFile{data: append([]byte(nil), f.data[:f.durable]...), durable: f.durable, entryDurable: true}
 	}
 	return out
 }
 
 // DurableLen returns how many bytes of name would survive a crash (0 when
-// the file does not exist).
+// the file does not exist or its directory entry was never synced).
 func (m *MemFS) DurableLen(name string) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if f, ok := m.files[name]; ok {
+	if f, ok := m.files[name]; ok && f.entryDurable {
 		return f.durable
 	}
 	return 0
@@ -126,7 +149,16 @@ func (m *MemFS) Create(name string) (File, error) {
 	if !m.spend() {
 		return nil, fmt.Errorf("create %s: %w", name, ErrInjected)
 	}
-	m.files[name] = &memFile{}
+	// Overwriting an existing durable entry keeps the entry durable (the
+	// name persists) but resets the durable content — a crash shows an
+	// empty file, the worst case an unsynced O_TRUNC can leave. A pending
+	// unsynced removal of the same name is deliberately NOT cleared: until
+	// SyncDir, a crash may resurrect the old content under this name.
+	entryDur := false
+	if prev, ok := m.files[name]; ok {
+		entryDur = prev.entryDurable
+	}
+	m.files[name] = &memFile{entryDurable: entryDur}
 	return &memHandle{fs: m, name: name}, nil
 }
 
@@ -166,14 +198,24 @@ func (m *MemFS) ReadDir(dir string) ([]string, error) {
 	return names, nil
 }
 
+// durableSnapshot returns the crash-surviving image of f, for the removed
+// map. Callers hold m.mu.
+func durableSnapshot(f *memFile) *memFile {
+	return &memFile{data: append([]byte(nil), f.data[:f.durable]...), durable: f.durable, entryDurable: true}
+}
+
 func (m *MemFS) Remove(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.spend() {
 		return fmt.Errorf("remove %s: %w", name, ErrInjected)
 	}
-	if _, ok := m.files[name]; !ok {
+	f, ok := m.files[name]
+	if !ok {
 		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	if f.entryDurable {
+		m.removed[name] = durableSnapshot(f)
 	}
 	delete(m.files, name)
 	return nil
@@ -190,12 +232,46 @@ func (m *MemFS) Rename(oldpath, newpath string) error {
 		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
 	}
 	delete(m.files, oldpath)
-	m.files[newpath] = f
+	// Until SyncDir the rename is not durable: a crash shows the
+	// pre-rename directory — oldpath back in place (if it was durably
+	// linked), newpath still holding whatever durable file it replaced.
+	if f.entryDurable {
+		m.removed[oldpath] = durableSnapshot(f)
+	}
+	if prev, ok := m.files[newpath]; ok && prev.entryDurable {
+		m.removed[newpath] = durableSnapshot(prev)
+	}
+	m.files[newpath] = &memFile{data: f.data, durable: f.durable}
 	return nil
 }
 
 // MkdirAll is a no-op: MemFS files are keyed by full path.
 func (m *MemFS) MkdirAll(string) error { return nil }
+
+// SyncDir makes dir's entries durable: files directly under dir survive a
+// crash by name, and pending removals under dir stop resurrecting.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.spend() {
+		return fmt.Errorf("syncdir %s: %w", dir, ErrInjected)
+	}
+	prefix := filepath.Clean(dir) + string(filepath.Separator)
+	direct := func(name string) bool {
+		return strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], string(filepath.Separator))
+	}
+	for name, f := range m.files {
+		if direct(name) {
+			f.entryDurable = true
+		}
+	}
+	for name := range m.removed {
+		if direct(name) {
+			delete(m.removed, name)
+		}
+	}
+	return nil
+}
 
 // memHandle is an open MemFS file. All writes append (the only access
 // pattern the ingest tier uses); Truncate cuts the buffered tail.

@@ -148,6 +148,15 @@ func replaySegment(data []byte) (firstSeq uint64, recs []Record, validSize int, 
 	for off < len(data) {
 		rec, n, err := decodeRecord(data[off:])
 		if err != nil {
+			if errors.Is(err, ErrCorrupt) && recordEndsAtEOF(data, off) {
+				// A full-length final record with garbage inside and
+				// nothing after it: the other torn-write shape (sectors of
+				// the unsynced tail persisted out of order), repairable
+				// like a short tail. Damage with decodable bytes beyond it
+				// stays ErrCorrupt — truncating there would silently drop
+				// acknowledged records.
+				return firstSeq, recs, off, errTruncated
+			}
 			return firstSeq, recs, off, err
 		}
 		if want := firstSeq + uint64(len(recs)); rec.Seq != want {
@@ -157,6 +166,18 @@ func replaySegment(data []byte) (firstSeq uint64, recs []Record, validSize int, 
 		off += n
 	}
 	return firstSeq, recs, off, nil
+}
+
+// recordEndsAtEOF reports whether the (undecodable) record at off claims a
+// plausible length that reaches exactly the end of data — the only corrupt
+// shape a torn append can leave, since an append never has bytes after it.
+func recordEndsAtEOF(data []byte, off int) bool {
+	if len(data)-off < recHeaderSize {
+		return false // a short header is already errTruncated
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
+	return payloadLen >= minPayload && payloadLen <= maxRecordSize &&
+		off+recHeaderSize+payloadLen == len(data)
 }
 
 // walSeg is one live segment's bookkeeping.
@@ -183,7 +204,11 @@ type WAL struct {
 	cur     File     // open handle on the last segment (nil until first append)
 	curSize int
 	nextSeq uint64
-	closed  bool
+	// dirDirty marks a segment created since the last directory sync: its
+	// dir entry is not yet durable, so the next sync must fence SyncDir
+	// before any record in it is acknowledged.
+	dirDirty bool
+	closed   bool
 
 	appendCtr *obs.Counter
 	fsyncHist *obs.Histogram
@@ -240,6 +265,7 @@ func OpenWAL(fsys FS, dir string, opts WALOptions) (*WAL, []Record, error) {
 		size int
 	}
 	var repairs []repair
+	droppedTorn := false
 	var prevLast uint64 // last seq seen so far (0 = none)
 	for i, name := range segNames {
 		data, rerr := fsys.ReadFile(join(dir, name))
@@ -254,6 +280,7 @@ func OpenWAL(fsys FS, dir string, opts WALOptions) (*WAL, []Record, error) {
 			if derr := fsys.Remove(join(dir, name)); derr != nil {
 				return nil, nil, fmt.Errorf("ingest: dropping torn segment %s: %w", name, derr)
 			}
+			droppedTorn = true
 			continue
 		}
 		if tailErr != nil && validSize == 0 {
@@ -264,6 +291,14 @@ func OpenWAL(fsys FS, dir string, opts WALOptions) (*WAL, []Record, error) {
 		}
 		if tailErr != nil {
 			if isLast {
+				// Only the torn-write shape (errTruncated, including a
+				// garbage final record ending exactly at EOF) is repaired
+				// by truncation. CRC or framing damage with further
+				// records behind it means acknowledged data would be
+				// silently dropped — fail instead.
+				if !errors.Is(tailErr, errTruncated) {
+					return nil, nil, fmt.Errorf("ingest: segment %s: %w", name, tailErr)
+				}
 				repairs = append(repairs, repair{name, validSize})
 			} else {
 				// A damaged tail mid-log is excusable only in the
@@ -300,6 +335,11 @@ func OpenWAL(fsys FS, dir string, opts WALOptions) (*WAL, []Record, error) {
 		}
 		if cerr != nil {
 			return nil, nil, fmt.Errorf("ingest: repairing segment %s: %w", r.name, cerr)
+		}
+	}
+	if droppedTorn {
+		if err := fsys.SyncDir(dir); err != nil {
+			return nil, nil, fmt.Errorf("ingest: syncing WAL dir after repair: %w", err)
 		}
 	}
 	if prevLast != 0 {
@@ -402,6 +442,15 @@ func (w *WAL) syncLocked() error {
 	if err := w.cur.Sync(); err != nil {
 		return err
 	}
+	if w.dirDirty {
+		// The segment's content is durable but its directory entry may not
+		// be: without this fence a crash can drop the whole file and with
+		// it records the file sync just "made durable".
+		if err := w.fs.SyncDir(w.dir); err != nil {
+			return err
+		}
+		w.dirDirty = false
+	}
 	w.fsyncHist.Observe(time.Since(t0))
 	return nil
 }
@@ -442,6 +491,7 @@ func (w *WAL) ensureSegmentLocked(recLen int) error {
 	}
 	w.cur = f
 	w.curSize = walHeaderSize
+	w.dirDirty = true
 	w.segs = append(w.segs, walSeg{name: name, first: w.nextSeq})
 	w.segGauge.Set(float64(len(w.segs)))
 	return nil
@@ -483,6 +533,7 @@ func (w *WAL) TruncateTo(watermark uint64) error {
 		}
 	}
 	kept := w.segs[:0]
+	removedAny := false
 	for i, s := range w.segs {
 		open := w.cur != nil && i == len(w.segs)-1
 		covered := s.count > 0 && s.last() <= watermark
@@ -496,12 +547,20 @@ func (w *WAL) TruncateTo(watermark uint64) error {
 				w.segGauge.Set(float64(len(w.segs)))
 				return err
 			}
+			removedAny = true
 			continue
 		}
 		kept = append(kept, s)
 	}
 	w.segs = kept
 	w.segGauge.Set(float64(len(w.segs)))
+	if removedAny {
+		// Make the unlinks stick. Not load-bearing for safety (a crash
+		// resurrecting removed segments replays records at or below a
+		// durable checkpoint, which recovery skips) but it bounds how much
+		// superseded log a crash can bring back.
+		return w.fs.SyncDir(w.dir)
+	}
 	return nil
 }
 
@@ -524,12 +583,7 @@ func (w *WAL) Close() error {
 	if w.cur == nil {
 		return nil
 	}
-	serr := func() error {
-		if w.policy == FsyncNever {
-			return nil
-		}
-		return w.cur.Sync()
-	}()
+	serr := w.syncLocked()
 	cerr := w.cur.Close()
 	w.cur = nil
 	if serr != nil {

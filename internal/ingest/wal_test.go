@@ -136,6 +136,71 @@ func TestWALCorruptMiddleRejected(t *testing.T) {
 	}
 }
 
+func TestWALCorruptLastSegmentMidFileRejected(t *testing.T) {
+	// Damage in the MIDDLE of the final segment — with acknowledged records
+	// decodable beyond it — is corruption, not a torn tail: repair-by-
+	// truncation would silently drop those later records, so replay must
+	// refuse.
+	fs := NewMemFS()
+	w, _ := mustOpenWAL(t, fs, WALOptions{})
+	acked := appendN(t, w, 0, 12)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if w.SegmentCount() != 1 {
+		t.Fatalf("want a single segment, got %d", w.SegmentCount())
+	}
+	name := join("wal", segName(acked[0].Seq))
+	if err := fs.Corrupt(name, fs.Len(name)/2); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	_, _, err := OpenWAL(fs, "wal", WALOptions{})
+	if err == nil {
+		t.Fatalf("reopen truncated away acknowledged records after mid-segment damage")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reopen error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWALCorruptFinalRecordRepairedAsTornTail(t *testing.T) {
+	// Damage inside the LAST record — garbage bytes, full-length framing,
+	// nothing after it — is the shape a torn write leaves when sectors
+	// persist out of order. Replay repairs it by truncation and every
+	// earlier record survives.
+	fs := NewMemFS()
+	w, _ := mustOpenWAL(t, fs, WALOptions{})
+	acked := appendN(t, w, 0, 12)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	name := join("wal", segName(acked[0].Seq))
+	if err := fs.Corrupt(name, fs.Len(name)-3); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	_, got, err := OpenWAL(fs, "wal", WALOptions{})
+	if err != nil {
+		t.Fatalf("reopen after torn final record: %v", err)
+	}
+	wantRecords(t, got, acked[:len(acked)-1])
+}
+
+func TestWALCrashWithoutDirSyncKeepsAckedRecords(t *testing.T) {
+	// Under FsyncAlways every ack implies the segment's directory entry is
+	// durable too: a crash right after the ack (nothing else synced) must
+	// not lose the record — the regression a missing SyncDir fence causes,
+	// now modeled by MemFS dropping files whose entry never reached a
+	// directory sync.
+	fs := NewMemFS()
+	w, _ := mustOpenWAL(t, fs, WALOptions{})
+	acked := appendN(t, w, 0, 3)
+	_, got, err := OpenWAL(fs.Crash(0), "wal", WALOptions{})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	wantRecords(t, got, acked)
+}
+
 func TestWALWriteErrorRotatesAndRecovers(t *testing.T) {
 	fs := NewMemFS()
 	w, _ := mustOpenWAL(t, fs, WALOptions{})

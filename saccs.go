@@ -540,7 +540,8 @@ func (c *Client) AppendReviewCtx(ctx context.Context, entityID, review string) e
 	// Register the entity stub before the append is durable: a review must
 	// never be acknowledged for an entity queries cannot see.
 	w := c.w.Load()
-	if _, ok := w.entities[entityID]; !ok {
+	_, known := w.entities[entityID]
+	if !known {
 		ents := make(map[string]Entity, len(w.entities)+1)
 		for k, v := range w.entities {
 			ents[k] = v
@@ -549,6 +550,13 @@ func (c *Client) AppendReviewCtx(ctx context.Context, entityID, review string) e
 		c.w.Store(&world{entities: ents, reviews: w.reviews, idx: w.idx, history: w.history})
 	}
 	_, err := c.ing.Append(ctx, entityID, review)
+	if err != nil && !known {
+		// The append was refused, so no review exists for the stub: roll
+		// the world back rather than leave a phantom entity visible to
+		// queries. Safe under writeMu — every world store holds it, so
+		// nothing can have interleaved.
+		c.w.Store(w)
+	}
 	c.writeMu.Unlock()
 	if err != nil {
 		return fail(err)

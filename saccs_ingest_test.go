@@ -159,6 +159,35 @@ func TestAppendReviewWALRecovery(t *testing.T) {
 	second.Shutdown()
 }
 
+// TestAppendReviewFailureLeavesNoPhantomEntity: a refused append must not
+// leave its freshly-registered entity stub behind — no review was ever
+// acknowledged, so queries and objective filtering must not see the entity.
+func TestAppendReviewFailureLeavesNoPhantomEntity(t *testing.T) {
+	base := newClient(t)
+	cfg := DefaultConfig()
+	cfg.IngestPublishInterval = -1
+	c := cloneForTest(t, base, cfg)
+	if err := c.IndexEntities(nil, base.CanonicalTags()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.AppendReviewCtx(ctx, "ghost", "The food is delicious."); err == nil {
+		t.Fatal("append with a cancelled context was acknowledged")
+	}
+	if _, ok := c.Entity("ghost"); ok {
+		t.Fatal("failed append left a phantom entity visible")
+	}
+	// The rollback must not wedge the entity: a later successful append
+	// registers it normally.
+	if err := c.AppendReview("ghost", "The food is delicious."); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	if _, ok := c.Entity("ghost"); !ok {
+		t.Fatal("entity missing after an acknowledged append")
+	}
+}
+
 // TestAppendReviewConcurrentQueryRace streams appends while queries run:
 // under the race detector this proves the lock-free read path, and every
 // response must be internally consistent (scores from one pinned
