@@ -21,7 +21,7 @@ COVER_BASELINE ?= 77.3
 
 .PHONY: ci lint vet build test test-short race race-full bench bench-smoke \
 	bench-contention bench-cache bench-latency bench-batch bench-ingest \
-	check obs-lint fuzz-smoke cover
+	bench-serve check obs-lint fuzz-smoke cover
 
 ci: lint build race check obs-lint fuzz-smoke bench-smoke
 
@@ -74,7 +74,10 @@ bench:
 # a second — enough to catch a deadlock or crash in the concurrent pipeline
 # without slowing CI — and -qps-guard fails the run if 4-goroutine QPS drops
 # below 1-goroutine QPS (the parallel-scaling regression this repo once
-# shipped: more goroutines, fewer queries). It writes no BENCH.json.
+# shipped: more goroutines, fewer queries). The same guard covers sharding:
+# a 4-shard facade client queried by 4 goroutines must beat the 1-shard
+# serial baseline, so scatter-gather fan-out can't eat the batching wins.
+# It writes no BENCH.json.
 bench-smoke:
 	$(GO) run ./cmd/saccs-bench -only parallel -parallel 4 -parallel-dur 300ms -qps-guard -bench-out ""
 
@@ -104,6 +107,16 @@ bench-batch:
 # the latency section of BENCH.json.
 bench-latency:
 	$(GO) run ./cmd/saccs-bench -only latency -parallel-dur 2s
+
+# bench-serve drives the real HTTP tier (cmd/saccs-server's stack) with an
+# open-loop load generator at shard counts {1,2,4}: fixed arrival rates on a
+# ladder calibrated against the 1-shard server, latency quantiles measured
+# from scheduled arrival time (no coordinated omission), and the max
+# sustained rate per shard count. Appends the serve section to BENCH.json.
+# (The sharding regression gate lives in bench-smoke's parallel section,
+# where it is independent of the machine's core count.)
+bench-serve:
+	$(GO) run ./cmd/saccs-bench -only serve -parallel-dur 2s
 
 # bench-ingest measures the streaming-ingest tier on the real filesystem:
 # durable append throughput under FsyncAlways and FsyncBatch, the

@@ -48,8 +48,18 @@ type Builder struct {
 // threshold. Eq. 1's review-count weighting and the mention-rate factor are
 // on by default; the worker pool defaults to GOMAXPROCS.
 func NewBuilder(measure sim.Measure, thetaIndex float64) *Builder {
+	return NewBuilderWithMemo(sim.NewMemo(measure), thetaIndex)
+}
+
+// NewBuilderWithMemo is NewBuilder over a caller-supplied similarity memo.
+// The memo is safe for concurrent use, so several indexes may share one —
+// the shard router does, because its shards index the same tag vocabulary
+// and would otherwise each recompute identical (query tag, index tag)
+// similarities. Memoization is transparent: shared or not, every score is
+// the same value the bare measure would return.
+func NewBuilderWithMemo(memo *sim.Memo, thetaIndex float64) *Builder {
 	return &Builder{
-		memo:           sim.NewMemo(measure),
+		memo:           memo,
 		thetaIndex:     thetaIndex,
 		reviewWeight:   true,
 		frequencyAware: true,

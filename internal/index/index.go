@@ -99,7 +99,14 @@ type Index struct {
 // is on by default, as is the similarity memo; the worker pool defaults to
 // GOMAXPROCS.
 func New(measure sim.Measure, thetaIndex float64) *Index {
-	b := NewBuilder(measure, thetaIndex)
+	return NewWithMemo(sim.NewMemo(measure), thetaIndex)
+}
+
+// NewWithMemo is New over a caller-supplied (possibly shared) similarity
+// memo; see NewBuilderWithMemo. Every snapshot the index publishes reads
+// similarities through this memo.
+func NewWithMemo(memo *sim.Memo, thetaIndex float64) *Index {
+	b := NewBuilderWithMemo(memo, thetaIndex)
 	ix := &Index{b: b}
 	ix.snap.Store(&Snapshot{
 		memo:       b.Memo(),

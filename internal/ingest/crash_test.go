@@ -131,6 +131,104 @@ func TestCrashMatrixStreaming(t *testing.T) {
 	}, items)
 }
 
+// metaScenario mirrors crashScenario but writes each entity's metadata record
+// immediately before that entity's first review, so the sweep's kill points
+// land on metadata WAL appends too. It returns the acked metadata set: an
+// entity appears only once the PutMeta that carries its (unique) metadata was
+// acknowledged.
+func metaScenario(t *testing.T, cfg Config, items []streamItem, metaOf func(string) EntityMeta, failAt int64) (fs *MemFS, ackedMeta map[string]EntityMeta, fired bool) {
+	t.Helper()
+	fs = NewMemFS()
+	cfg.FS = fs
+	ix := index.New(flatSim{}, 0.5)
+	ing, err := Open(cfg, ix, testTags, nil, splitExtract)
+	if err != nil {
+		t.Fatalf("failAt=%d: open: %v", failAt, err)
+	}
+	fs.SetFailAfter(failAt)
+	ackedMeta = map[string]EntityMeta{}
+	for i, it := range items {
+		if _, ok := ackedMeta[it.entity]; !ok {
+			if _, err := ing.PutMeta(context.Background(), it.entity, metaOf(it.entity)); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("failAt=%d: put meta %d: %v", failAt, i, err)
+				}
+				return fs, ackedMeta, true
+			}
+			ackedMeta[it.entity] = metaOf(it.entity)
+		}
+		if _, err := ing.Append(context.Background(), it.entity, it.review); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("failAt=%d: append %d: %v", failAt, i, err)
+			}
+			return fs, ackedMeta, true
+		}
+	}
+	if err := ing.Flush(context.Background()); err != nil {
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("failAt=%d: flush: %v", failAt, err)
+		}
+		return fs, ackedMeta, true
+	}
+	if err := ing.Close(); err != nil {
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("failAt=%d: close: %v", failAt, err)
+		}
+		return fs, ackedMeta, true
+	}
+	return fs, ackedMeta, false
+}
+
+// TestCrashMatrixMetadata proves metadata durability at every kill point: any
+// acknowledged PutMeta must survive crash recovery bit-exactly, whether the
+// record was still in the WAL tail or already folded into a checkpoint by
+// compaction.
+func TestCrashMatrixMetadata(t *testing.T) {
+	items := genStream(23, 30, 5, testTags)
+	metaOf := func(entity string) EntityMeta {
+		return EntityMeta{Name: "Name of " + entity, City: "city-" + entity, Cuisine: "cuisine-" + entity}
+	}
+	cfg := Config{
+		Dir:             "ingest",
+		PublishEvery:    2,
+		PublishInterval: -1,
+		CompactAfter:    1,
+		SegmentBytes:    1 << 9,
+	}
+	const maxOps = 4000
+	kills := 0
+	for failAt := int64(1); ; failAt++ {
+		if failAt > maxOps {
+			t.Fatalf("scenario still failing after %d operations — runaway op count", maxOps)
+		}
+		fs, ackedMeta, fired := metaScenario(t, cfg, items, metaOf, failAt)
+		if !fired {
+			t.Logf("metadata matrix complete: %d kill points", kills)
+			return
+		}
+		kills++
+		for _, torn := range []int{0, 3} {
+			crashed := fs.Crash(torn)
+			recfg := cfg
+			recfg.FS = crashed
+			ix := index.New(flatSim{}, 0.5)
+			ing, err := Open(recfg, ix, testTags, nil, splitExtract)
+			if err != nil {
+				t.Fatalf("failAt=%d torn=%d: reopen: %v", failAt, torn, err)
+			}
+			got := ing.Meta()
+			for entity, want := range ackedMeta {
+				if got[entity] != want {
+					t.Fatalf("failAt=%d torn=%d: meta for %s = %+v, want %+v", failAt, torn, entity, got[entity], want)
+				}
+			}
+			if err := ing.Close(); err != nil {
+				t.Fatalf("failAt=%d torn=%d: close: %v", failAt, torn, err)
+			}
+		}
+	}
+}
+
 func TestCrashMatrixCompacting(t *testing.T) {
 	// Compaction after every publish: kill points land inside checkpoint
 	// write/sync/rename, base-snapshot rewrite, superseded-artifact removal,

@@ -8,14 +8,19 @@ import (
 )
 
 // fuzzSegment assembles a segment image from records for seeding: the 16-byte
-// header followed by properly framed records.
+// header followed by properly framed records. An entity prefixed "meta:" is
+// framed as a metadata record (prefix stripped).
 func fuzzSegment(firstSeq uint64, recs ...[2]string) []byte {
 	buf := make([]byte, walHeaderSize)
 	copy(buf, walMagic)
 	binary.LittleEndian.PutUint32(buf[4:], walVersion)
 	binary.LittleEndian.PutUint64(buf[8:], firstSeq)
 	for i, r := range recs {
-		b, err := encodeRecord(firstSeq+uint64(i), r[0], r[1])
+		kind, entity := KindReview, r[0]
+		if len(entity) > 5 && entity[:5] == "meta:" {
+			kind, entity = KindMeta, entity[5:]
+		}
+		b, err := encodeRecord(firstSeq+uint64(i), kind, entity, r[1])
 		if err != nil {
 			panic(err)
 		}
@@ -34,6 +39,11 @@ func FuzzWALDecode(f *testing.F) {
 	f.Add(fuzzSegment(1))
 	f.Add(fuzzSegment(1, [2]string{"e1", "good food"}, [2]string{"e2", "nice staff | cozy place"}))
 	f.Add(fuzzSegment(1<<40, [2]string{"entity-with-longer-id", ""}))
+	// Metadata records interleaved with reviews.
+	f.Add(fuzzSegment(3,
+		[2]string{"meta:e1", `{"name":"Chez Nous","city":"lyon"}`},
+		[2]string{"e1", "lovely evening"},
+		[2]string{"meta:e2", `{}`}))
 	// Torn tail: a record cut off mid-payload.
 	whole := fuzzSegment(7, [2]string{"e1", "review one"}, [2]string{"e1", "review two"})
 	f.Add(whole[:len(whole)-5])
@@ -54,7 +64,7 @@ func FuzzWALDecode(f *testing.F) {
 			if n < recHeaderSize+minPayload || n > len(data) {
 				t.Fatalf("decodeRecord consumed %d of %d bytes", n, len(data))
 			}
-			re, eerr := encodeRecord(rec.Seq, rec.Entity, rec.Review)
+			re, eerr := encodeRecord(rec.Seq, rec.Kind, rec.Entity, rec.Body)
 			if eerr != nil {
 				t.Fatalf("re-encoding accepted record: %v", eerr)
 			}
@@ -79,7 +89,7 @@ func FuzzWALDecode(f *testing.F) {
 		if valid >= walHeaderSize {
 			re := append([]byte(nil), data[:walHeaderSize]...)
 			for _, r := range recs {
-				b, eerr := encodeRecord(r.Seq, r.Entity, r.Review)
+				b, eerr := encodeRecord(r.Seq, r.Kind, r.Entity, r.Body)
 				if eerr != nil {
 					t.Fatalf("re-encoding replayed record: %v", eerr)
 				}

@@ -82,6 +82,16 @@ type entityState struct {
 	tags    []string
 }
 
+// EntityMeta is the objective metadata of one streamed entity — the fields
+// the dialog layer filters on. It rides the ingest stream as its own WAL
+// record kind (and inside checkpoints), so a recovered entity comes back
+// with its identity instead of as a bare-ID stub.
+type EntityMeta struct {
+	Name    string `json:"name,omitempty"`
+	City    string `json:"city,omitempty"`
+	Cuisine string `json:"cuisine,omitempty"`
+}
+
 // pendingReview is an acknowledged review whose tags have not been folded
 // into the index yet (extraction runs per publication batch, not per
 // append).
@@ -106,7 +116,8 @@ type Ingester struct {
 	wal        *WAL // nil when cfg.Dir == ""
 	tags       []string
 	state      map[string]*entityState
-	order      []string // entity first-seen order (deterministic iteration)
+	meta       map[string]EntityMeta // durable entity metadata (upsert semantics)
+	order      []string              // entity first-seen order (deterministic iteration)
 	pending    []pendingReview
 	oldestWait time.Time // arrival of pending[0] (publish-lag numerator)
 	appended   uint64    // count-only when wal == nil
@@ -145,6 +156,7 @@ func Open(cfg Config, ix *index.Index, tags []string, seed []index.EntityReviews
 		ix:          ix,
 		tags:        append([]string(nil), tags...),
 		state:       map[string]*entityState{},
+		meta:        map[string]EntityMeta{},
 		done:        make(chan struct{}),
 		appendHist:  cfg.Obs.Histogram("ingest.append"),
 		publishHist: cfg.Obs.Histogram("ingest.publish"),
@@ -251,6 +263,87 @@ func (g *Ingester) Append(ctx context.Context, entityID, review string) (uint64,
 	}
 	g.appendHist.Observe(time.Since(t0))
 	return seq, nil
+}
+
+// PutMeta durably upserts one entity's metadata: with a WAL the call
+// returns only after the metadata record is fsynced (under FsyncAlways),
+// and checkpoints carry it from then on, so a recovered entity keeps its
+// identity. An upsert identical to the stored metadata is acknowledged
+// without touching the log, which makes callers free to PutMeta on every
+// append. Returns the record's sequence number (0 for the dedup no-op).
+func (g *Ingester) PutMeta(ctx context.Context, entityID string, m EntityMeta) (uint64, error) {
+	if entityID == "" {
+		return 0, fmt.Errorf("ingest: empty entity ID")
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return 0, fmt.Errorf("ingest: ingester is closed")
+	}
+	if cur, ok := g.meta[entityID]; ok && cur == m {
+		return 0, nil
+	}
+	var seq uint64
+	if g.wal != nil {
+		body, err := json.Marshal(m)
+		if err != nil {
+			return 0, err
+		}
+		seq, err = g.wal.AppendMeta(entityID, string(body))
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		g.appended++
+		seq = g.appended
+	}
+	g.noteEntityLocked(entityID)
+	g.meta[entityID] = m
+	return seq, nil
+}
+
+// SeedMeta upserts entity metadata in memory only — the Open-time seeding
+// hook for a world whose metadata is already durable elsewhere (or will be
+// at the next checkpoint, which always carries the full metadata map).
+func (g *Ingester) SeedMeta(meta map[string]EntityMeta) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for id, m := range meta {
+		if id == "" {
+			continue
+		}
+		g.meta[id] = m
+	}
+	g.noteMetaOnlyLocked()
+}
+
+// noteMetaOnlyLocked registers entities that have metadata but no stream
+// state yet, in sorted order so checkpoints stay deterministic.
+func (g *Ingester) noteMetaOnlyLocked() {
+	var extra []string
+	for id := range g.meta {
+		if _, ok := g.state[id]; !ok {
+			extra = append(extra, id)
+		}
+	}
+	sort.Strings(extra)
+	for _, id := range extra {
+		g.noteEntityLocked(id)
+	}
+}
+
+// Meta returns a copy of the accumulated entity metadata.
+func (g *Ingester) Meta() map[string]EntityMeta {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]EntityMeta, len(g.meta))
+	for id, m := range g.meta {
+		out[id] = m
+	}
+	return out
 }
 
 // Flush publishes every pending review and, with a WAL under FsyncBatch,
@@ -440,6 +533,9 @@ type checkpointment struct {
 	ID      string   `json:"id"`
 	Reviews int      `json:"reviews"`
 	Tags    []string `json:"tags"`
+	// Meta is the entity's durable metadata, if any — an additive extension
+	// (older checkpoints simply lack it; older readers ignore it).
+	Meta *EntityMeta `json:"meta,omitempty"`
 }
 
 const checkpointVersion = 1
@@ -448,7 +544,12 @@ func (g *Ingester) writeCheckpointLocked(watermark uint64) error {
 	ck := checkpointFile{Version: checkpointVersion, Seq: watermark, Tags: g.tags}
 	for _, id := range g.order {
 		st := g.state[id]
-		ck.Entities = append(ck.Entities, checkpointment{ID: id, Reviews: st.reviews, Tags: st.tags})
+		ce := checkpointment{ID: id, Reviews: st.reviews, Tags: st.tags}
+		if m, ok := g.meta[id]; ok {
+			mc := m
+			ce.Meta = &mc
+		}
+		ck.Entities = append(ck.Entities, ce)
 	}
 	tmp := join(g.cfg.Dir, ckptName(watermark)+".tmp")
 	f, err := g.cfg.FS.Create(tmp)
@@ -544,6 +645,9 @@ func (g *Ingester) recover() error {
 			st := g.state[e.ID]
 			st.reviews = e.Reviews
 			st.tags = e.Tags
+			if e.Meta != nil {
+				g.meta[e.ID] = *e.Meta
+			}
 		}
 		// The checkpoint's tag list is the pre-crash index vocabulary; keep
 		// its order (so the rebuilt index is byte-identical on Save) and
@@ -590,19 +694,35 @@ func (g *Ingester) recover() error {
 	g.published = ckptSeq
 	g.appended = ckptSeq
 	if len(tail) > 0 {
-		texts := make([]string, len(tail))
-		for i, r := range tail {
-			texts[i] = r.Review
+		// Batch-extract the review records (metadata records carry no text),
+		// then fold the tail in sequence order so review state accumulates in
+		// arrival order and metadata upserts apply last-writer-wins.
+		var texts []string
+		for _, r := range tail {
+			if r.Kind == KindReview {
+				texts = append(texts, r.Body)
+			}
 		}
 		tagLists := g.extract(texts)
-		if len(tagLists) != len(tail) {
-			return fmt.Errorf("ingest: extractor returned %d tag lists for %d replayed reviews", len(tagLists), len(tail))
+		if len(tagLists) != len(texts) {
+			return fmt.Errorf("ingest: extractor returned %d tag lists for %d replayed reviews", len(tagLists), len(texts))
 		}
-		for i, r := range tail {
+		rv := 0
+		for _, r := range tail {
 			g.noteEntityLocked(r.Entity)
-			st := g.state[r.Entity]
-			st.reviews++
-			st.tags = append(st.tags, tagLists[i]...)
+			switch r.Kind {
+			case KindReview:
+				st := g.state[r.Entity]
+				st.reviews++
+				st.tags = append(st.tags, tagLists[rv]...)
+				rv++
+			case KindMeta:
+				var m EntityMeta
+				if err := json.Unmarshal([]byte(r.Body), &m); err != nil {
+					return fmt.Errorf("ingest: decoding metadata record %d: %w", r.Seq, err)
+				}
+				g.meta[r.Entity] = m
+			}
 		}
 		g.published = tail[len(tail)-1].Seq
 		g.appended = g.published
@@ -750,11 +870,12 @@ func (g *Ingester) AddTags(tags []string) error {
 	return nil
 }
 
-// Rebase resets the stream to a batch-built world: the given state replaces
-// everything accumulated so far, the WAL is truncated behind a fresh
-// checkpoint, and future appends continue from here. The facade calls this
-// when a full IndexEntities supersedes the streamed state.
-func (g *Ingester) Rebase(ix *index.Index, tags []string, seed []index.EntityReviews) error {
+// Rebase resets the stream to a batch-built world: the given state (and
+// entity metadata, nil for none) replaces everything accumulated so far, the
+// WAL is truncated behind a fresh checkpoint, and future appends continue
+// from here. The facade calls this when a full IndexEntities supersedes the
+// streamed state.
+func (g *Ingester) Rebase(ix *index.Index, tags []string, seed []index.EntityReviews, meta map[string]EntityMeta) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.closed {
@@ -764,12 +885,19 @@ func (g *Ingester) Rebase(ix *index.Index, tags []string, seed []index.EntityRev
 	g.tags = append([]string(nil), tags...)
 	g.state = map[string]*entityState{}
 	g.order = nil
+	g.meta = make(map[string]EntityMeta, len(meta))
+	for id, m := range meta {
+		if id != "" {
+			g.meta[id] = m
+		}
+	}
 	for _, er := range seed {
 		g.noteEntityLocked(er.EntityID)
 		st := g.state[er.EntityID]
 		st.reviews = er.ReviewCount
 		st.tags = append([]string(nil), er.Tags...)
 	}
+	g.noteMetaOnlyLocked()
 	g.pending = nil
 	g.pendGauge.Set(float64(0))
 	if g.wal != nil {

@@ -532,7 +532,7 @@ func TestRebaseResetsStreamState(t *testing.T) {
 	seed := batchState(fresh)
 	ix2 := index.New(flatSim{}, 0.5)
 	ix2.Build(testTags, seed)
-	if err := ing.Rebase(ix2, testTags, seed); err != nil {
+	if err := ing.Rebase(ix2, testTags, seed, nil); err != nil {
 		t.Fatalf("rebase: %v", err)
 	}
 	live := genStream(8, 25, 5, testTags)

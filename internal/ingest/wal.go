@@ -21,24 +21,44 @@ import (
 // and each record is
 //
 //	u32 payloadLen | u32 crc32(payload) | payload
-//	payload = u64 seq | u32 entityLen | entity | review
+//	payload = u64 seq | u32 kind·entityLen | entity | body
 //
-// (all little-endian). Sequence numbers are contiguous within a segment and
-// start at the header's firstSeq, so replay can detect a missing or
-// reordered record without trusting record contents. The CRC covers the
-// whole payload: a torn or bit-flipped record fails the checksum and replay
-// stops at the last valid boundary.
+// (all little-endian). The top bit of the entity-length word is the record
+// kind: clear for a review record (body = review text, the only kind version
+// 1 ever wrote) and set for an entity-metadata record (body = JSON-encoded
+// EntityMeta). Logs written before metadata existed decode unchanged, and a
+// pre-metadata decoder rejects a metadata record as corrupt rather than
+// misreading it — the flagged length exceeds any real entity ID. Sequence
+// numbers are contiguous within a segment (both kinds consume one) and start
+// at the header's firstSeq, so replay can detect a missing or reordered
+// record without trusting record contents. The CRC covers the whole payload:
+// a torn or bit-flipped record fails the checksum and replay stops at the
+// last valid boundary.
 const (
 	walMagic      = "SWAL"
 	walVersion    = 1
 	walHeaderSize = 16
 	recHeaderSize = 8
-	// minPayload is a record with an empty review and a one-byte entity ID.
+	// minPayload is a record with an empty body and a one-byte entity ID.
 	minPayload = 13
 	// maxRecordSize caps one payload: a decoder must reject anything larger
 	// before allocating, so adversarial length prefixes cannot over-allocate
 	// (FuzzWALDecode enforces this).
 	maxRecordSize = 1 << 20
+	// metaFlag marks a metadata record in the entity-length word. It is far
+	// above maxRecordSize, so no review record's entity length can collide
+	// with it.
+	metaFlag = uint32(1) << 31
+)
+
+// RecordKind distinguishes what a WAL record carries.
+type RecordKind uint8
+
+const (
+	// KindReview is one streamed review: body is the review text.
+	KindReview RecordKind = iota
+	// KindMeta is an entity-metadata upsert: body is a JSON EntityMeta.
+	KindMeta
 )
 
 // FsyncPolicy is the WAL durability knob.
@@ -58,11 +78,14 @@ const (
 	FsyncNever
 )
 
-// Record is one acknowledged review in the log.
+// Record is one acknowledged entry in the log: a review (KindReview, Body
+// holds the review text) or an entity-metadata upsert (KindMeta, Body holds
+// the JSON-encoded EntityMeta).
 type Record struct {
 	Seq    uint64
+	Kind   RecordKind
 	Entity string
-	Review string
+	Body   string
 }
 
 // errTruncated marks a record (or segment header) that stops short: the
@@ -75,21 +98,28 @@ var ErrCorrupt = errors.New("ingest: corrupt WAL")
 
 var crcTable = crc32.MakeTable(crc32.IEEE)
 
-// encodeRecord frames one review for the log.
-func encodeRecord(seq uint64, entity, review string) ([]byte, error) {
+// encodeRecord frames one record for the log.
+func encodeRecord(seq uint64, kind RecordKind, entity, body string) ([]byte, error) {
 	if entity == "" {
 		return nil, fmt.Errorf("ingest: empty entity ID")
 	}
-	payload := 12 + len(entity) + len(review)
+	if kind > KindMeta {
+		return nil, fmt.Errorf("ingest: unknown record kind %d", kind)
+	}
+	payload := 12 + len(entity) + len(body)
 	if payload > maxRecordSize {
 		return nil, fmt.Errorf("ingest: record payload %d exceeds %d bytes", payload, maxRecordSize)
+	}
+	lenWord := uint32(len(entity))
+	if kind == KindMeta {
+		lenWord |= metaFlag
 	}
 	buf := make([]byte, recHeaderSize+payload)
 	p := buf[recHeaderSize:]
 	binary.LittleEndian.PutUint64(p[0:], seq)
-	binary.LittleEndian.PutUint32(p[8:], uint32(len(entity)))
+	binary.LittleEndian.PutUint32(p[8:], lenWord)
 	copy(p[12:], entity)
-	copy(p[12+len(entity):], review)
+	copy(p[12+len(entity):], body)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(payload))
 	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(p, crcTable))
 	return buf, nil
@@ -116,14 +146,20 @@ func decodeRecord(b []byte) (Record, int, error) {
 	if crc := crc32.Checksum(p, crcTable); crc != binary.LittleEndian.Uint32(b[4:]) {
 		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	entityLen := int(binary.LittleEndian.Uint32(p[8:]))
+	lenWord := binary.LittleEndian.Uint32(p[8:])
+	kind := KindReview
+	if lenWord&metaFlag != 0 {
+		kind = KindMeta
+	}
+	entityLen := int(lenWord &^ metaFlag)
 	if entityLen < 1 || 12+entityLen > payloadLen {
 		return Record{}, 0, fmt.Errorf("%w: entity length %d in %d-byte payload", ErrCorrupt, entityLen, payloadLen)
 	}
 	rec := Record{
 		Seq:    binary.LittleEndian.Uint64(p[0:]),
+		Kind:   kind,
 		Entity: string(p[12 : 12+entityLen]),
-		Review: string(p[12+entityLen:]),
+		Body:   string(p[12+entityLen:]),
 	}
 	return rec, recHeaderSize + payloadLen, nil
 }
@@ -373,12 +409,22 @@ func (w *WAL) NextSeq() uint64 {
 // segment is abandoned and the next append rotates), so a failed append can
 // never corrupt the log for its successors.
 func (w *WAL) Append(entity, review string) (uint64, error) {
+	return w.append(KindReview, entity, review)
+}
+
+// AppendMeta durably logs one entity-metadata upsert (body is the JSON
+// EntityMeta) under the same durability contract as Append.
+func (w *WAL) AppendMeta(entity, body string) (uint64, error) {
+	return w.append(KindMeta, entity, body)
+}
+
+func (w *WAL) append(kind RecordKind, entity, body string) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return 0, fmt.Errorf("ingest: WAL is closed")
 	}
-	rec, err := encodeRecord(w.nextSeq, entity, review)
+	rec, err := encodeRecord(w.nextSeq, kind, entity, body)
 	if err != nil {
 		return 0, err
 	}

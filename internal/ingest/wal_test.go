@@ -18,7 +18,7 @@ func appendN(t *testing.T, w *WAL, from, n int) []Record {
 		if err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
-		out = append(out, Record{Seq: seq, Entity: entity, Review: review})
+		out = append(out, Record{Seq: seq, Entity: entity, Body: review})
 	}
 	return out
 }

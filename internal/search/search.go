@@ -101,10 +101,15 @@ const (
 	MinAgg
 )
 
-// Scored is one ranked entity.
+// Scored is one ranked entity. Coverage is the number of query tags the
+// entity matched (line 11's intersection cardinality): the primary sort key
+// of Algorithm 1's relaxed ranking, carried on the result so independently
+// ranked partitions can be merged under the exact same coverage/score/ID
+// order the single index produces.
 type Scored struct {
 	EntityID string
 	Score    float64
+	Coverage int
 }
 
 // Resolver is the read surface Algorithm 1 needs from the subjective tag
@@ -202,18 +207,11 @@ func (r *Ranker) RankCtx(ctx context.Context, parent *obs.Span, apiResults []str
 	out := make([]Scored, 0, len(apiResults))
 	seen := make(map[string]bool, len(apiResults))
 	for id := range counts {
-		out = append(out, Scored{EntityID: id, Score: r.aggregate(perTag, id)})
+		out = append(out, Scored{EntityID: id, Score: r.aggregate(perTag, id), Coverage: counts[id]})
 		seen[id] = true
 	}
 	sort.Slice(out, func(i, j int) bool {
-		ci, cj := counts[out[i].EntityID], counts[out[j].EntityID]
-		if ci != cj {
-			return ci > cj
-		}
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].EntityID < out[j].EntityID
+		return Less(out[i], out[j])
 	})
 	// The untagged tail is ordered by ID: with no subjective signal to
 	// separate them, the lexicographic order keeps the full ranking total and
@@ -262,6 +260,21 @@ func (r *Ranker) aggregate(perTag []map[string]float64, id string) float64 {
 		}
 		return s / float64(len(vals))
 	}
+}
+
+// Less is the deterministic total order of Algorithm 1's relaxed ranking:
+// coverage descending, then aggregate score descending, then entity ID
+// ascending. RankCtx sorts by it, and scatter-gather merges re-apply it so a
+// merge of independently ranked partitions is byte-identical to ranking the
+// union.
+func Less(a, b Scored) bool {
+	if a.Coverage != b.Coverage {
+		return a.Coverage > b.Coverage
+	}
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.EntityID < b.EntityID
 }
 
 // RankedIDs projects a scored list onto entity ids.

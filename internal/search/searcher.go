@@ -1,0 +1,88 @@
+package search
+
+import (
+	"context"
+
+	"saccs/internal/index"
+	"saccs/internal/obs"
+)
+
+// View is one pinned, immutable read view of the subjective tag index: every
+// probe made through a View observes a single consistent generation (or, for
+// a partitioned searcher, one consistent vector of per-shard generations),
+// no matter how many concurrent writers publish while the request runs.
+type View interface {
+	// Generation identifies the pinned state; for sharded views it is the
+	// sum of the pinned per-shard generations, which is monotone under the
+	// per-shard publish counters.
+	Generation() uint64
+	// Has reports whether the tag is indexed in the pinned state.
+	Has(tag string) bool
+	// Resolve returns the tag's scored entity set (exact posting list or
+	// similar-tag union) under θ_filter, honoring ctx mid-scan.
+	Resolve(ctx context.Context, tag string, thetaFilter float64) ([]index.Entry, error)
+	// TopK runs Algorithm 1 (Ranker.RankCtx) over the pinned state —
+	// restricted to apiResults, aggregated across tags, ordered by
+	// coverage/score/ID with the ID-sorted untagged tail — and truncates to
+	// k results (k <= 0 means unbounded). parent, when live, receives one
+	// "index.resolve" child span per tag probe.
+	TopK(ctx context.Context, parent *obs.Span, apiResults, tags []string, thetaFilter float64, k int) ([]Scored, error)
+}
+
+// Searcher is the read surface the conversational facade needs from an index
+// arrangement: pin a consistent snapshot now, query it later. The
+// single-index client is one implementation (Single); the scatter-gather
+// shard router is another.
+type Searcher interface {
+	Pin() View
+}
+
+// Single adapts one *index.Index to the Searcher interface: Pin captures the
+// index's current immutable snapshot, exactly the per-request pinning the
+// unsharded client has always done.
+type Single struct {
+	Index *index.Index
+	// Agg is the §3.3 cross-tag aggregation TopK ranks with.
+	Agg Aggregation
+}
+
+// Pin captures the current snapshot.
+func (s Single) Pin() View { return singleView{snap: s.Index.Current(), agg: s.Agg} }
+
+type singleView struct {
+	snap *index.Snapshot
+	agg  Aggregation
+}
+
+func (v singleView) Generation() uint64 { return v.snap.Generation() }
+
+func (v singleView) Has(tag string) bool { return v.snap.Has(tag) }
+
+func (v singleView) Resolve(ctx context.Context, tag string, thetaFilter float64) ([]index.Entry, error) {
+	var out []index.Entry
+	err := v.snap.ResolveEachCtx(ctx, tag, thetaFilter, func(e index.Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (v singleView) TopK(ctx context.Context, parent *obs.Span, apiResults, tags []string, thetaFilter float64, k int) ([]Scored, error) {
+	r := &Ranker{Index: v.snap, ThetaFilter: thetaFilter, Agg: v.agg}
+	out, err := r.RankCtx(ctx, parent, apiResults, tags)
+	if err != nil {
+		return nil, err
+	}
+	return Truncate(out, k), nil
+}
+
+// Truncate caps a ranked list at k entries; k <= 0 leaves it unbounded.
+func Truncate(s []Scored, k int) []Scored {
+	if k > 0 && len(s) > k {
+		return s[:k]
+	}
+	return s
+}

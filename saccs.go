@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -41,6 +42,7 @@ import (
 	"saccs/internal/pairing"
 	"saccs/internal/parse"
 	"saccs/internal/search"
+	"saccs/internal/shard"
 	"saccs/internal/sim"
 	"saccs/internal/tagger"
 	"saccs/internal/tokenize"
@@ -70,6 +72,15 @@ type Config struct {
 	ThetaFilter float64
 	// TopK truncates query answers (DefaultConfig: 10; 0 = all).
 	TopK int
+	// Shards partitions the subjective tag index across this many
+	// independent shards by consistent hashing of entity IDs (0 or 1 keeps
+	// the single-index layout). Queries scatter across every shard in
+	// parallel and merge the per-shard top-K answers into results
+	// byte-identical to a single index over the same world; writes route
+	// each entity to its owning shard. With WALDir set and Shards > 1,
+	// shard i persists under WALDir/shard-<i>. The shard count is fixed
+	// for the client's lifetime — changing it means a fresh IndexEntities.
+	Shards int
 	// Adversarial enables FGSM training of the tagger (DefaultConfig: true).
 	Adversarial bool
 	// Epsilon is the adversarial perturbation radius (DefaultConfig: 0.2).
@@ -183,7 +194,8 @@ func Float(v float64) *float64 { return &v }
 // partial results and published no partial state.
 type StageError struct {
 	// Stage names the pipeline stage that observed the failure: "parse",
-	// "extract", "objective", "rank", "index", "reindex", or "append".
+	// "extract", "objective", "rank", "index", "reindex", "append", or
+	// "register".
 	Stage string
 	// Err is the context's error (or a wrapper around it).
 	Err error
@@ -209,24 +221,25 @@ type Entity struct {
 
 // Result is one ranked answer.
 type Result struct {
-	ID string
+	ID string `json:"id"`
 	// Score is the aggregated degree of truth across the query's tags.
-	Score float64
+	Score float64 `json:"score"`
 }
 
-// Response is the answer to a subjective utterance.
+// Response is the answer to a subjective utterance. The JSON field names are
+// the saccs-server wire format.
 type Response struct {
 	// Intent is the recognized intent name.
-	Intent string
+	Intent string `json:"intent"`
 	// Slots are the filled objective slots (cuisine, location).
-	Slots map[string]string
+	Slots map[string]string `json:"slots,omitempty"`
 	// Tags are the subjective tags extracted from the utterance.
-	Tags []string
+	Tags []string `json:"tags"`
 	// UnknownTags were not in the index and are queued for the next
 	// indexing round (see Client.Reindex).
-	UnknownTags []string
+	UnknownTags []string `json:"unknown_tags,omitempty"`
 	// Results are the filtered, ranked entities.
-	Results []Result
+	Results []Result `json:"results"`
 }
 
 // Client is a trained SACCS pipeline plus a subjective tag index.
@@ -250,18 +263,20 @@ type Client struct {
 	extr    *core.Extractor
 	measure sim.Measure
 
-	// w is the client's current world — entities, reviews, index, and tag
-	// history published as one unit, so a query pinning it never observes
-	// entities from one IndexEntities call and postings from another.
-	// Readers only Load; writeMu serializes the writers that swap it.
+	// w is the client's current world — entities, reviews, shard router,
+	// and tag history published as one unit, so a query pinning it never
+	// observes entities from one IndexEntities call and postings from
+	// another. Readers only Load; writeMu serializes the writers that swap
+	// it.
 	w       atomic.Pointer[world]
 	writeMu sync.Mutex
 
-	// ing is the streaming ingester behind AppendReview: nil until the first
-	// append (or until New recovers a WALDir). Guarded by writeMu; the
-	// ingester itself is internally synchronized, and the lock order is
-	// always writeMu → ingester, never the reverse.
-	ing *ingest.Ingester
+	// ings are the per-shard streaming ingesters behind AppendReview
+	// (ings[i] feeds shard i): nil until the first append (or until New
+	// recovers a WALDir). Guarded by writeMu; each ingester is internally
+	// synchronized, and the lock order is always writeMu → ingester, never
+	// the reverse.
+	ings []*ingest.Ingester
 
 	// o is the client's always-on metrics registry plus an optional tracer
 	// attached via SetTraceSink.
@@ -269,13 +284,13 @@ type Client struct {
 }
 
 // world is one generation of the client's indexed state. The maps and
-// slices are frozen once published; idx and history mutate safely behind
-// their own internal synchronization (idx republishes snapshots atomically,
-// history is a locked queue).
+// slices are frozen once published; router and history mutate safely behind
+// their own internal synchronization (each shard republishes snapshots
+// atomically, history is a locked queue).
 type world struct {
 	entities map[string]Entity
 	reviews  []index.EntityReviews
-	idx      *index.Index
+	router   *shard.Router
 	history  *index.History
 }
 
@@ -326,8 +341,6 @@ func New(cfg Config) (*Client, error) {
 	tg.Train(data.Train)
 
 	measure := sim.NewConceptual()
-	idx := index.New(measure, cfg.ThetaIndex)
-	idx.SetObserver(o)
 	hist := index.NewHistory()
 	hist.SetCap(cfg.HistoryLimit)
 	cache := extcache.New(cfg.ExtractCacheSize)
@@ -346,7 +359,7 @@ func New(cfg Config) (*Client, error) {
 		measure: measure,
 		o:       o,
 	}
-	c.w.Store(&world{entities: map[string]Entity{}, idx: idx, history: hist})
+	c.w.Store(&world{entities: map[string]Entity{}, router: c.newRouter(), history: hist})
 	// A durable WAL directory is opened eagerly so a restart recovers its
 	// streamed world (checkpoint + WAL replay) before the first call — not
 	// only once somebody happens to append.
@@ -359,6 +372,21 @@ func New(cfg Config) (*Client, error) {
 		}
 	}
 	return c, nil
+}
+
+// newRouter builds an empty shard router sized by Config.Shards, with every
+// shard's index wired into the client's observer. The extraction pipeline is
+// shared — only postings are partitioned — and so is the similarity memo:
+// every shard indexes the same tag vocabulary, so an unknown query tag's
+// vocabulary scan computes each (query tag, index tag) similarity once for
+// the whole router instead of once per shard.
+func (c *Client) newRouter() *shard.Router {
+	memo := sim.NewMemo(c.measure)
+	r := shard.New(c.cfg.Shards, search.MeanAgg, func() *index.Index {
+		return index.NewWithMemo(memo, c.cfg.ThetaIndex)
+	})
+	r.SetObserver(c.o)
+	return r
 }
 
 func trainTokens(d *datasets.Dataset) [][]string {
@@ -473,29 +501,52 @@ func (c *Client) IndexEntitiesCtx(ctx context.Context, entities []Entity, tags [
 	if err := ctx.Err(); err != nil {
 		return &StageError{Stage: "extract", Err: err}
 	}
-	idx := index.New(c.measure, c.cfg.ThetaIndex)
-	idx.SetObserver(c.o)
+	router := c.newRouter()
 	low := make([]string, len(tags))
 	for i, t := range tags {
 		low[i] = strings.ToLower(t)
 	}
-	if err := idx.BuildCtx(ctx, low, reviews); err != nil {
+	if err := router.BuildCtx(ctx, low, reviews); err != nil {
 		return &StageError{Stage: "index", Err: err}
 	}
 	hist := index.NewHistory()
 	hist.SetCap(c.cfg.HistoryLimit)
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	c.w.Store(&world{entities: ents, reviews: reviews, idx: idx, history: hist})
-	if c.ing != nil {
-		// The batch world supersedes the streamed one: rebase the ingester on
-		// the fresh index (checkpointing and truncating the WAL behind it) so
-		// future appends continue from here.
-		if err := c.ing.Rebase(idx, low, reviews); err != nil {
-			return &StageError{Stage: "index", Err: err}
+	c.w.Store(&world{entities: ents, reviews: reviews, router: router, history: hist})
+	if c.ings != nil {
+		// The batch world supersedes the streamed one: rebase each shard's
+		// ingester on its slice of the fresh index (checkpointing entity
+		// metadata and truncating the WAL behind it) so future appends
+		// continue from here.
+		parts := router.Partition(reviews)
+		metas := partitionMeta(ents, router.N())
+		for i, ing := range c.ings {
+			if err := ing.Rebase(router.Shard(i), low, parts[i], metas[i]); err != nil {
+				return &StageError{Stage: "index", Err: err}
+			}
 		}
 	}
 	return nil
+}
+
+// partitionMeta splits the non-empty entity metadata by owning shard, in the
+// shape each shard's ingester persists (checkpoint meta / WAL metadata
+// records).
+func partitionMeta(entities map[string]Entity, n int) []map[string]ingest.EntityMeta {
+	out := make([]map[string]ingest.EntityMeta, n)
+	for id, e := range entities {
+		m := ingest.EntityMeta{Name: e.Name, City: e.City, Cuisine: e.Cuisine}
+		if m == (ingest.EntityMeta{}) {
+			continue
+		}
+		s := shard.Owner(id, n)
+		if out[s] == nil {
+			out[s] = map[string]ingest.EntityMeta{}
+		}
+		out[s][id] = m
+	}
+	return out
 }
 
 // AppendReview streams one review into an entity's record: the review is
@@ -531,7 +582,7 @@ func (c *Client) AppendReviewCtx(ctx context.Context, entityID, review string) e
 		return fail(fmt.Errorf("empty entity ID"))
 	}
 	c.writeMu.Lock()
-	if c.ing == nil {
+	if c.ings == nil {
 		if err := c.openIngestLocked(); err != nil {
 			c.writeMu.Unlock()
 			return fail(err)
@@ -547,9 +598,9 @@ func (c *Client) AppendReviewCtx(ctx context.Context, entityID, review string) e
 			ents[k] = v
 		}
 		ents[entityID] = Entity{ID: entityID}
-		c.w.Store(&world{entities: ents, reviews: w.reviews, idx: w.idx, history: w.history})
+		c.w.Store(&world{entities: ents, reviews: w.reviews, router: w.router, history: w.history})
 	}
-	_, err := c.ing.Append(ctx, entityID, review)
+	_, err := c.ings[w.router.Owner(entityID)].Append(ctx, entityID, review)
 	if err != nil && !known {
 		// The append was refused, so no review exists for the stub: roll
 		// the world back rather than leave a phantom entity visible to
@@ -565,55 +616,146 @@ func (c *Client) AppendReviewCtx(ctx context.Context, entityID, review string) e
 	return nil
 }
 
+// RegisterEntity upserts an entity's objective metadata (Name, City,
+// Cuisine) without touching its reviews: the entity becomes visible to
+// objective filtering immediately, and when the client streams through a
+// durable WAL the metadata is fsynced as its own WAL record before the call
+// returns — so a crash-recovered entity keeps its identity instead of
+// degrading to a bare-ID stub. Reviews stream separately via AppendReview.
+func (c *Client) RegisterEntity(e Entity) error {
+	return c.RegisterEntityCtx(context.Background(), e)
+}
+
+// RegisterEntityCtx is RegisterEntity with request telemetry (one "register"
+// request per call). Like AppendReviewCtx, the durability acknowledgment is
+// not cancellable: once the call returns nil the metadata is on disk.
+func (c *Client) RegisterEntityCtx(ctx context.Context, e Entity) error {
+	ctx, req := c.o.StartRequest(ctx, "register")
+	fail := func(err error) error {
+		serr := &StageError{Stage: "register", Err: err}
+		req.Finish(serr)
+		return serr
+	}
+	if e.ID == "" {
+		return fail(fmt.Errorf("empty entity ID"))
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.ings == nil && c.cfg.WALDir != "" {
+		if err := c.openIngestLocked(); err != nil {
+			return fail(err)
+		}
+	}
+	w := c.w.Load()
+	// Durability first: only a metadata record the WAL acknowledged may
+	// become visible to queries.
+	if c.ings != nil {
+		m := ingest.EntityMeta{Name: e.Name, City: e.City, Cuisine: e.Cuisine}
+		if _, err := c.ings[w.router.Owner(e.ID)].PutMeta(ctx, e.ID, m); err != nil {
+			return fail(err)
+		}
+	}
+	cur, known := w.entities[e.ID]
+	up := Entity{ID: e.ID, Name: e.Name, City: e.City, Cuisine: e.Cuisine, Reviews: cur.Reviews}
+	if !known || cur.Name != up.Name || cur.City != up.City || cur.Cuisine != up.Cuisine {
+		ents := make(map[string]Entity, len(w.entities)+1)
+		for k, v := range w.entities {
+			ents[k] = v
+		}
+		ents[e.ID] = up
+		c.w.Store(&world{entities: ents, reviews: w.reviews, router: w.router, history: w.history})
+	}
+	req.Finish(nil)
+	return nil
+}
+
 // Quiesce publishes every streamed review that is still pending, so the
 // index reflects all acknowledged appends. It is the streaming counterpart
 // of waiting out the staleness window — tests and graceful drains call it
 // instead of sleeping.
 func (c *Client) Quiesce() error {
 	c.writeMu.Lock()
-	ing := c.ing
+	ings := c.ings
 	c.writeMu.Unlock()
-	if ing == nil {
-		return nil
+	for _, ing := range ings {
+		if err := ing.Flush(context.Background()); err != nil {
+			return err
+		}
 	}
-	return ing.Flush(context.Background())
+	return nil
 }
 
-// openIngestLocked opens the streaming ingester over the current world,
-// seeding it with the batch-extracted reviews so streamed appends land on
-// top of the indexed corpus. With a WALDir it first recovers any durable
-// state — entities recovered from the log get stub registrations. Caller
+// openIngestLocked opens one streaming ingester per shard over the current
+// world, seeding each with its slice of the batch-extracted reviews so
+// streamed appends land on top of the indexed corpus. With a WALDir it first
+// recovers any durable state — recovered entities come back with their
+// persisted metadata, or as bare-ID stubs when none was ever written. Caller
 // holds writeMu.
 func (c *Client) openIngestLocked() error {
 	w := c.w.Load()
-	ing, err := ingest.Open(ingest.Config{
-		Dir:             c.cfg.WALDir,
-		PublishEvery:    c.cfg.IngestPublishEvery,
-		PublishInterval: c.cfg.IngestPublishInterval,
-		Obs:             c.o,
-	}, w.idx, w.idx.Tags(), w.reviews, c.extractReviewTags)
-	if err != nil {
-		return err
+	r := w.router
+	parts := r.Partition(w.reviews)
+	metas := partitionMeta(w.entities, r.N())
+	ings := make([]*ingest.Ingester, r.N())
+	for i := range ings {
+		dir := c.cfg.WALDir
+		if dir != "" && r.N() > 1 {
+			dir = filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+		}
+		ing, err := ingest.Open(ingest.Config{
+			Dir:             dir,
+			PublishEvery:    c.cfg.IngestPublishEvery,
+			PublishInterval: c.cfg.IngestPublishInterval,
+			Obs:             c.o,
+		}, r.Shard(i), r.Shard(i).Tags(), parts[i], c.extractReviewTags)
+		if err != nil {
+			for _, g := range ings[:i] {
+				_ = g.Close()
+			}
+			return err
+		}
+		// Known metadata rides along in memory so a later Rebase checkpoint
+		// carries it; recovery below pulls the opposite direction.
+		if len(metas[i]) > 0 {
+			ing.SeedMeta(metas[i])
+		}
+		ings[i] = ing
 	}
-	c.ing = ing
+	c.ings = ings
 	// Recovery can resurface entities the in-memory world has never seen
-	// (their reviews arrived through the WAL in a previous process): give
-	// each a stub so objective filtering can see them.
-	var missing []string
-	for _, er := range ing.State() {
-		if _, ok := w.entities[er.EntityID]; !ok {
-			missing = append(missing, er.EntityID)
+	// (their reviews or metadata arrived through the WAL in a previous
+	// process): rebuild each with its persisted identity, or a stub when
+	// only reviews survived.
+	ents := w.entities
+	changed := false
+	clone := func() {
+		if changed {
+			return
+		}
+		m := make(map[string]Entity, len(ents)+8)
+		for k, v := range ents {
+			m[k] = v
+		}
+		ents, changed = m, true
+	}
+	for _, ing := range ings {
+		meta := ing.Meta()
+		for _, er := range ing.State() {
+			if _, ok := ents[er.EntityID]; !ok {
+				clone()
+				m := meta[er.EntityID]
+				ents[er.EntityID] = Entity{ID: er.EntityID, Name: m.Name, City: m.City, Cuisine: m.Cuisine}
+			}
+		}
+		for id, m := range meta {
+			if _, ok := ents[id]; !ok {
+				clone()
+				ents[id] = Entity{ID: id, Name: m.Name, City: m.City, Cuisine: m.Cuisine}
+			}
 		}
 	}
-	if len(missing) > 0 {
-		ents := make(map[string]Entity, len(w.entities)+len(missing))
-		for k, v := range w.entities {
-			ents[k] = v
-		}
-		for _, id := range missing {
-			ents[id] = Entity{ID: id}
-		}
-		c.w.Store(&world{entities: ents, reviews: w.reviews, idx: w.idx, history: w.history})
+	if changed {
+		c.w.Store(&world{entities: ents, reviews: w.reviews, router: w.router, history: w.history})
 	}
 	return nil
 }
@@ -631,7 +773,7 @@ func (c *Client) extractReviewTags(texts []string) [][]string {
 }
 
 // IndexedTags returns the current index keys.
-func (c *Client) IndexedTags() []string { return c.w.Load().idx.Tags() }
+func (c *Client) IndexedTags() []string { return c.w.Load().router.Tags() }
 
 // Reindex drains the user tag history (unknown tags seen in queries) into
 // the index — the adaptive round of the paper's Fig. 1 — and returns the
@@ -666,19 +808,19 @@ func (c *Client) ReindexCtx(ctx context.Context) ([]string, error) {
 	st := obs.BeginStage(c.o, req.Root(), "history.drain")
 	st.Span().Set("pending", len(pend))
 	st.End()
-	if err := w.idx.BuildCtx(ctx, pend, w.reviews); err != nil {
+	if err := w.router.BuildCtx(ctx, pend, w.reviews); err != nil {
 		w.history.Requeue(pend)
 		return fail(err)
 	}
-	if c.ing != nil {
+	for _, ing := range c.ings {
 		// Widen the streaming vocabulary too, so future delta publications
 		// cover the tags just reindexed (durably, when a WALDir is set).
-		if err := c.ing.AddTags(pend); err != nil {
+		if err := ing.AddTags(pend); err != nil {
 			return fail(err)
 		}
 	}
 	req.Ev.Tags = len(pend)
-	req.Ev.Generation = w.idx.Current().Generation()
+	req.Ev.Generation = w.router.Generation()
 	req.Finish(nil)
 	return pend, nil
 }
@@ -729,8 +871,11 @@ func (c *Client) QueryCtx(ctx context.Context, utterance string, opts ...QueryOp
 		req.Ev.TopK, req.Ev.ThetaFilter = opts[0].TopK, opts[0].ThetaFilter
 	}
 	w := c.w.Load()
-	snap := w.idx.Current()
-	req.Ev.Generation = snap.Generation()
+	// Pin a consistent vector of shard snapshots once, up front: the whole
+	// request reads one immutable generation per shard even while writers
+	// republish underneath it.
+	view := w.router.Pin()
+	req.Ev.Generation = view.Generation()
 	fail := func(stage string, err error) (Response, error) {
 		c.o.Counter("query.interrupted.total").Inc()
 		serr := &StageError{Stage: stage, Err: err}
@@ -752,7 +897,7 @@ func (c *Client) QueryCtx(ctx context.Context, utterance string, opts ...QueryOp
 
 	var unknown []string
 	for _, t := range tags {
-		if !snap.Has(t) {
+		if !view.Has(t) {
 			unknown = append(unknown, t)
 			w.history.Add(t)
 		}
@@ -767,16 +912,12 @@ func (c *Client) QueryCtx(ctx context.Context, utterance string, opts ...QueryOp
 	st.End()
 
 	st = obs.BeginStage(c.o, root, "rank")
-	ranker := &search.Ranker{Index: snap, ThetaFilter: theta, Agg: search.MeanAgg}
-	ranked, err := ranker.RankCtx(ctx, st.Span(), apiResults, tags)
+	ranked, err := view.TopK(ctx, st.Span(), apiResults, tags, theta, topK)
 	if err != nil {
 		st.EndErr(err)
 		return fail("rank", err)
 	}
 	st.End()
-	if topK > 0 && len(ranked) > topK {
-		ranked = ranked[:topK]
-	}
 	results := make([]Result, len(ranked))
 	for i, s := range ranked {
 		results[i] = Result{ID: s.EntityID, Score: s.Score}
@@ -819,9 +960,9 @@ func (c *Client) QueryTagsCtx(ctx context.Context, tags []string, opts ...QueryO
 		}
 	}
 	w := c.w.Load()
-	snap := w.idx.Current()
+	view := w.router.Pin()
 	for _, t := range tags {
-		if lt := strings.ToLower(t); !snap.Has(lt) {
+		if lt := strings.ToLower(t); !view.Has(lt) {
 			w.history.Add(lt)
 		}
 	}
@@ -834,14 +975,10 @@ func (c *Client) QueryTagsCtx(ctx context.Context, tags []string, opts ...QueryO
 	for i, t := range tags {
 		low[i] = strings.ToLower(t)
 	}
-	ranker := &search.Ranker{Index: snap, ThetaFilter: theta, Agg: search.MeanAgg}
-	ranked, err := ranker.RankCtx(ctx, nil, all, low)
+	ranked, err := view.TopK(ctx, nil, all, low, theta, topK)
 	if err != nil {
 		c.o.Counter("query.interrupted.total").Inc()
 		return nil, &StageError{Stage: "rank", Err: err}
-	}
-	if topK > 0 && len(ranked) > topK {
-		ranked = ranked[:topK]
 	}
 	out := make([]Result, len(ranked))
 	for i, s := range ranked {
@@ -899,10 +1036,10 @@ func (c *Client) SlowQueries() []obs.Event { return c.o.Telemetry().SlowQueries(
 // the stream.
 func (c *Client) Shutdown() {
 	c.writeMu.Lock()
-	ing := c.ing
-	c.ing = nil
+	ings := c.ings
+	c.ings = nil
 	c.writeMu.Unlock()
-	if ing != nil {
+	for _, ing := range ings {
 		_ = ing.Close()
 	}
 	c.o.Telemetry().Close()
@@ -1027,17 +1164,30 @@ func objectiveFilter(w *world, slots map[string]string) []string {
 // SaveIndex writes the current subjective tag index as JSON so it can be
 // reloaded without re-extracting reviews. It serializes the snapshot
 // current at the moment of the call, unaffected by concurrent rebuilds.
-func (c *Client) SaveIndex(w io.Writer) error { return c.w.Load().idx.Save(w) }
+// The single-index serialization format has no shard framing, so a sharded
+// client (Config.Shards > 1) refuses with an error.
+func (c *Client) SaveIndex(w io.Writer) error {
+	r := c.w.Load().router
+	if r.N() > 1 {
+		return fmt.Errorf("saccs: SaveIndex unsupported with %d shards (use the WAL for durable sharded state)", r.N())
+	}
+	return r.Shard(0).Save(w)
+}
 
 // LoadIndex restores a previously saved index. The loaded postings are
 // validated fully before anything is published, then swapped in atomically;
 // on error the client keeps serving its previous index. The client's
 // entities must be re-registered separately (IndexEntities with an empty
-// tag list keeps reviews without rebuilding the postings).
+// tag list keeps reviews without rebuilding the postings). Like SaveIndex,
+// it refuses on a sharded client.
 func (c *Client) LoadIndex(r io.Reader) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return c.w.Load().idx.Load(r)
+	rt := c.w.Load().router
+	if rt.N() > 1 {
+		return fmt.Errorf("saccs: LoadIndex unsupported with %d shards (use the WAL for durable sharded state)", rt.N())
+	}
+	return rt.Shard(0).Load(r)
 }
 
 // CorrectTag routes a possibly misspelled tag onto the closest indexed tag
@@ -1045,7 +1195,7 @@ func (c *Client) LoadIndex(r io.Reader) error {
 // returns the input unchanged when nothing is close enough.
 func (c *Client) CorrectTag(tag string) string {
 	trie := automaton.New()
-	c.w.Load().idx.EachTag(func(t string) bool { trie.Add(t); return true })
+	c.w.Load().router.EachTag(func(t string) bool { trie.Add(t); return true })
 	if fixed, ok := trie.Closest(strings.ToLower(tag), 2); ok {
 		return fixed
 	}

@@ -20,8 +20,6 @@ func cloneForTest(t *testing.T, c *Client, cfg Config) *Client {
 	t.Helper()
 	o := obs.NewObserver()
 	o.SetTelemetry(obs.NewTelemetry(obs.TelemetryConfig{Metrics: o.Metrics, RuntimeEvery: 10 * time.Second}))
-	idx := index.New(c.measure, cfg.ThetaIndex)
-	idx.SetObserver(o)
 	hist := index.NewHistory()
 	hist.SetCap(cfg.HistoryLimit)
 	clone := &Client{
@@ -31,7 +29,7 @@ func cloneForTest(t *testing.T, c *Client, cfg Config) *Client {
 		measure: c.measure,
 		o:       o,
 	}
-	clone.w.Store(&world{entities: map[string]Entity{}, idx: idx, history: hist})
+	clone.w.Store(&world{entities: map[string]Entity{}, router: clone.newRouter(), history: hist})
 	if cfg.WALDir != "" {
 		clone.writeMu.Lock()
 		err := clone.openIngestLocked()
