@@ -77,9 +77,11 @@ bench:
 # shipped: more goroutines, fewer queries). The same guard covers sharding:
 # a 4-shard facade client queried by 4 goroutines must beat the 1-shard
 # serial baseline, so scatter-gather fan-out can't eat the batching wins.
+# -quant-guard fails the run if the mixed-precision cold decode is not at
+# least 2x the float64 decode — the quantized kernels' reason to exist.
 # It writes no BENCH.json.
 bench-smoke:
-	$(GO) run ./cmd/saccs-bench -only parallel -parallel 4 -parallel-dur 300ms -qps-guard -bench-out ""
+	$(GO) run ./cmd/saccs-bench -only parallel,quant -parallel 4 -parallel-dur 300ms -qps-guard -quant-guard -bench-out ""
 
 # bench-contention measures reader QPS with and without a writer
 # continuously rebuilding (and republishing) the index — the
@@ -134,7 +136,8 @@ bench-ingest:
 check:
 	$(GO) test -race -count=1 ./internal/check/...
 	$(GO) test -race -count=1 -run '^Fuzz' ./internal/tokenize/ ./internal/search/ \
-		./internal/parse/ ./internal/tagger/ ./internal/index/ ./internal/ingest/
+		./internal/parse/ ./internal/tagger/ ./internal/index/ ./internal/ingest/ \
+		./internal/mat/
 
 # fuzz-smoke gives each native fuzz target a bounded budget ($(FUZZTIME) per
 # target). `go test -fuzz` accepts exactly one target per invocation, hence
@@ -147,6 +150,7 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzPredictDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/tagger/
 	$(GO) test -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/index/
 	$(GO) test -fuzz '^FuzzWALDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/ingest/
+	$(GO) test -fuzz '^FuzzQuantRoundTrip$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/mat/
 
 # cover measures total -short coverage and fails if it regresses below
 # COVER_BASELINE (the value recorded from the seed tree).

@@ -65,8 +65,8 @@
 // Usage:
 //
 //	saccs-bench [-scale fast|paper]
-//	            [-only table2,table3,table4,table5,figures,stages,parallel,batch,contention,cache,latency,ingest,serve]
-//	            [-parallel N] [-parallel-dur 2s] [-qps-guard]
+//	            [-only table2,table3,table4,table5,figures,stages,quant,parallel,batch,contention,cache,latency,ingest,serve]
+//	            [-parallel N] [-parallel-dur 2s] [-qps-guard] [-quant-guard]
 //	            [-readers N] [-contention-dur 2s]
 //	            [-bench-out BENCH.json] [-metrics-addr :9090]
 package main
@@ -94,6 +94,7 @@ import (
 	"saccs/internal/extcache"
 	"saccs/internal/index"
 	"saccs/internal/ingest"
+	"saccs/internal/nn"
 	"saccs/internal/obs"
 	"saccs/internal/pairing"
 	"saccs/internal/parse"
@@ -107,11 +108,12 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "fast", "experiment scale: fast or paper")
-	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures,stages,parallel,batch,contention,cache,latency,ingest,serve")
+	only := flag.String("only", "", "comma-separated subset: table2,table3,table4,table5,figures,stages,quant,parallel,batch,contention,cache,latency,ingest,serve")
 	benchOut := flag.String("bench-out", "BENCH.json", "file for the machine-readable benchmark results (empty disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
 	parallelN := flag.Int("parallel", runtime.GOMAXPROCS(0), "goroutines for the parallel query benchmark")
 	qpsGuard := flag.Bool("qps-guard", false, "exit nonzero if the parallel section's multi-goroutine QPS falls below its single-goroutine QPS")
+	quantGuard := flag.Bool("quant-guard", false, "exit nonzero if the quant section's mixed-precision cold decode is not at least 2x the float64 decode")
 	parallelDur := flag.Duration("parallel-dur", 2*time.Second, "duration of each parallel benchmark pass")
 	readersN := flag.Int("readers", runtime.GOMAXPROCS(0), "reader goroutines for the contention benchmark")
 	contentionDur := flag.Duration("contention-dur", 2*time.Second, "duration of each contention benchmark pass")
@@ -165,6 +167,7 @@ func main() {
 	run("table4", func() { experiments.Table4(scale, os.Stdout) })
 	run("table2", func() { experiments.Table2(scale, os.Stdout) })
 	run("stages", func() { stageBenchmarks(o, doc) })
+	run("quant", func() { quantBenchmarks(o, doc, *quantGuard) })
 	run("parallel", func() { parallelBenchmarks(o, doc, *parallelN, *parallelDur, *qpsGuard) })
 	run("batch", func() { batchBenchmarks(o, doc, *parallelDur) })
 	run("contention", func() { contentionBenchmarks(o, doc, *readersN, *contentionDur) })
@@ -173,7 +176,7 @@ func main() {
 	run("ingest", func() { ingestBenchmarks(doc, *parallelDur) })
 	run("serve", func() { serveBenchmarks(doc, []int{1, 2, 4}, *parallelDur) })
 
-	if *benchOut != "" && (len(doc.Stages) > 0 || len(doc.Parallel) > 0 || len(doc.Batch) > 0 || len(doc.Contention) > 0 || doc.Cache != nil || doc.Latency != nil || doc.Ingest != nil || doc.Serve != nil) {
+	if *benchOut != "" && (len(doc.Stages) > 0 || len(doc.Quant) > 0 || len(doc.Parallel) > 0 || len(doc.Batch) > 0 || len(doc.Contention) > 0 || doc.Cache != nil || doc.Latency != nil || doc.Ingest != nil || doc.Serve != nil) {
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
@@ -203,7 +206,10 @@ func main() {
 	}
 }
 
-// stageResult is one row of BENCH.json.
+// stageResult is one row of BENCH.json. Rows whose name ends in ".batchN"
+// (e.g. tagger.decode.batch4) are normalized per sequence — ns/allocs/bytes
+// divided by N — so they compare directly against their solo row; Iterations
+// still counts whole batched ops.
 type stageResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -285,7 +291,14 @@ type latencySection struct {
 type ingestResult struct {
 	// Mode is "fsync-always" (every ack is an fsync) or "fsync-batch"
 	// (sync at publication boundaries).
-	Mode          string  `json:"mode"`
+	Mode string `json:"mode"`
+	// Goroutines is how many concurrent appenders drove the pass (absent or
+	// 1: the serial baseline). The fsync-batch rows at 1/4/16 goroutines
+	// measure group-commit ack latency: appends acknowledge without a
+	// per-record fsync and the publication-boundary sync amortizes across
+	// everything the group appended since the last barrier, so the ack
+	// quantiles show pure WAL contention rather than storage flushes.
+	Goroutines    int     `json:"goroutines,omitempty"`
 	Appends       int64   `json:"appends"`
 	Seconds       float64 `json:"seconds"`
 	AppendsPerSec float64 `json:"appends_per_sec"`
@@ -348,6 +361,7 @@ type serveSection struct {
 type benchFile struct {
 	Command    string             `json:"command"`
 	Stages     []stageResult      `json:"stages,omitempty"`
+	Quant      []stageResult      `json:"quant,omitempty"`
 	Parallel   []parallelResult   `json:"parallel,omitempty"`
 	Batch      []batchResult      `json:"batch,omitempty"`
 	Contention []contentionResult `json:"contention,omitempty"`
@@ -378,6 +392,7 @@ func buildBenchPipeline(o *obs.Observer) (*core.Service, *core.Extractor, *tagge
 		cfg := tagger.DefaultConfig()
 		cfg.Adversarial = true
 		cfg.Epsilon = 0.2
+		cfg.Precision = nn.Mixed // the serving default (saccs.Config.Precision)
 		tg := tagger.New(enc, cfg)
 		tg.Obs = o
 		tg.Train(data.Train)
@@ -440,6 +455,7 @@ func stageBenchmarks(o *obs.Observer, doc *benchFile) {
 	}{
 		{"parse", func() { search.ParseUtterance(utterance) }},
 		{"tagger.decode", func() { tg.Predict(tokens) }},
+		{"tagger.decode.float64", func() { tg.PredictAt(tokens, nn.Float64) }},
 		{"tagger.decode.batch4", func() { tg.PredictBatch(batch4) }},
 		{"pairing.pairs", func() { ex.Pairer.Pairs(tokens, aspects, opinions) }},
 		{"extract", func() { ex.ExtractFromTokens(tokens) }},
@@ -470,6 +486,11 @@ func stageBenchmarks(o *obs.Observer, doc *benchFile) {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Iterations:  r.N,
 		}
+		if n := batchRowSize(row.Name); n > 1 {
+			row.NsPerOp /= float64(n)
+			row.AllocsPerOp /= int64(n)
+			row.BytesPerOp /= int64(n)
+		}
 		results = append(results, row)
 		fmt.Printf("%-22s %14.0f %12d %12d\n", row.Name, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
 	}
@@ -484,9 +505,75 @@ func stageBenchmarks(o *obs.Observer, doc *benchFile) {
 	}
 	if batch4Ns > 0 {
 		fmt.Printf("batch-4 decode: %.0f ns/sequence, %.2fx the serial decode\n",
-			batch4Ns/4, decodeNs/(batch4Ns/4))
+			batch4Ns, decodeNs/batch4Ns)
 	}
 	doc.Stages = results
+}
+
+// batchRowSize extracts N from a ".batchN" stage-name suffix (0 otherwise),
+// the divisor that normalizes batched rows to per-sequence figures.
+func batchRowSize(name string) int {
+	i := strings.LastIndex(name, ".batch")
+	if i < 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range name[i+len(".batch"):] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// quantBenchmarks measures the cold Viterbi decode at each precision mode
+// over the shared pipeline and reports the mixed- and int8-mode speedups
+// against full float64. With guard set the process exits nonzero if the
+// mixed decode is not at least 2x float64 — the CI floor under the paper
+// target of 3x (oracle/quant-drift separately pins that the speed does not
+// come at the cost of label agreement).
+func quantBenchmarks(o *obs.Observer, doc *benchFile, guard bool) {
+	_, _, tg := buildBenchPipeline(o)
+	tokens := tokenize.Words("I want an Italian restaurant in Montreal with delicious food and nice staff")
+
+	modes := []struct {
+		name string
+		p    nn.Precision
+	}{
+		{"tagger.decode.float64", nn.Float64},
+		{"tagger.decode.mixed", nn.Mixed},
+		{"tagger.decode.int8", nn.Int8},
+	}
+	results := make([]stageResult, 0, len(modes))
+	fmt.Printf("%-22s %14s %12s %12s\n", "mode", "ns/op", "allocs/op", "B/op")
+	for _, m := range modes {
+		p := m.p
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tg.PredictAt(tokens, p)
+			}
+		})
+		row := stageResult{
+			Name:        m.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		results = append(results, row)
+		fmt.Printf("%-22s %14.0f %12d %12d\n", row.Name, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
+	}
+	f64, mixed, int8ns := results[0].NsPerOp, results[1].NsPerOp, results[2].NsPerOp
+	if mixed > 0 && int8ns > 0 {
+		fmt.Printf("mixed cold decode: %.2fx float64; int8: %.2fx float64\n", f64/mixed, f64/int8ns)
+	}
+	doc.Quant = results
+	if guard && mixed > 0 && f64/mixed < 2 {
+		fmt.Fprintf(os.Stderr, "quant guard: mixed cold decode is %.2fx float64, want >= 2x\n", f64/mixed)
+		os.Exit(1)
+	}
 }
 
 // coldUtterances builds n distinct three-sentence utterances. Distinctness
@@ -953,7 +1040,7 @@ func ingestBenchmarks(doc *benchFile, dur time.Duration) {
 		return fmt.Sprintf("ent-%d", i%nEntities), t1 + " | " + t2
 	}
 
-	pass := func(mode string, policy ingest.FsyncPolicy) (ingestResult, string) {
+	pass := func(mode string, policy ingest.FsyncPolicy, workers int) (ingestResult, string) {
 		dir, err := os.MkdirTemp("", "saccs-ingest-bench-*")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ingest bench: %v\n", err)
@@ -977,13 +1064,38 @@ func ingestBenchmarks(doc *benchFile, dur time.Duration) {
 		deadline := time.Now().Add(dur)
 		start := time.Now()
 		var n int64
-		for i := 0; time.Now().Before(deadline); i++ {
-			id, text := review(i)
-			if _, err := ing.Append(ctx, id, text); err != nil {
-				fmt.Fprintf(os.Stderr, "ingest bench: append: %v\n", err)
-				os.Exit(1)
+		if workers <= 1 {
+			for i := 0; time.Now().Before(deadline); i++ {
+				id, text := review(i)
+				if _, err := ing.Append(ctx, id, text); err != nil {
+					fmt.Fprintf(os.Stderr, "ingest bench: append: %v\n", err)
+					os.Exit(1)
+				}
+				n++
 			}
-			n++
+		} else {
+			// Concurrent appenders stride the review stream so every record
+			// is distinct; the total lands in n after the barrier.
+			var total atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					var mine int64
+					for i := g; time.Now().Before(deadline); i += workers {
+						id, text := review(i)
+						if _, err := ing.Append(ctx, id, text); err != nil {
+							fmt.Fprintf(os.Stderr, "ingest bench: append: %v\n", err)
+							os.Exit(1)
+						}
+						mine++
+					}
+					total.Add(mine)
+				}(g)
+			}
+			wg.Wait()
+			n = total.Load()
 		}
 		if err := ing.Flush(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "ingest bench: flush: %v\n", err)
@@ -998,6 +1110,7 @@ func ingestBenchmarks(doc *benchFile, dur time.Duration) {
 		lag := io.Histogram("ingest.publish.lag").Snapshot()
 		return ingestResult{
 			Mode:            mode,
+			Goroutines:      workers,
 			Appends:         n,
 			Seconds:         sec,
 			AppendsPerSec:   float64(n) / sec,
@@ -1010,21 +1123,28 @@ func ingestBenchmarks(doc *benchFile, dur time.Duration) {
 		}, dir
 	}
 
-	fmt.Printf("%-14s %10s %12s %12s %12s %12s %12s %10s\n",
-		"mode", "appends", "appends/s", "ack p50", "ack p99", "lag p50", "lag p99", "compacts")
+	fmt.Printf("%-14s %4s %10s %12s %12s %12s %12s %12s %10s\n",
+		"mode", "g", "appends", "appends/s", "ack p50", "ack p99", "lag p50", "lag p99", "compacts")
 	sec := &ingestSection{}
 	var alwaysDir string
+	// The serial fsync-always/fsync-batch baselines, then the group-commit
+	// ladder: fsync-batch under 4 and 16 concurrent appenders (1 is the
+	// serial row), showing how the publication-boundary sync amortizes while
+	// WAL-mutex contention grows the ack quantiles.
 	for _, m := range []struct {
-		mode   string
-		policy ingest.FsyncPolicy
+		mode    string
+		policy  ingest.FsyncPolicy
+		workers int
 	}{
-		{"fsync-always", ingest.FsyncAlways},
-		{"fsync-batch", ingest.FsyncBatch},
+		{"fsync-always", ingest.FsyncAlways, 1},
+		{"fsync-batch", ingest.FsyncBatch, 1},
+		{"fsync-batch", ingest.FsyncBatch, 4},
+		{"fsync-batch", ingest.FsyncBatch, 16},
 	} {
-		r, dir := pass(m.mode, m.policy)
+		r, dir := pass(m.mode, m.policy, m.workers)
 		sec.Results = append(sec.Results, r)
-		fmt.Printf("%-14s %10d %12.0f %12s %12s %12s %12s %10d\n",
-			r.Mode, r.Appends, r.AppendsPerSec,
+		fmt.Printf("%-14s %4d %10d %12.0f %12s %12s %12s %12s %10d\n",
+			r.Mode, r.Goroutines, r.Appends, r.AppendsPerSec,
 			time.Duration(r.AppendP50Ns).Round(time.Microsecond),
 			time.Duration(r.AppendP99Ns).Round(time.Microsecond),
 			time.Duration(r.PublishLagP50Ns).Round(time.Microsecond),

@@ -31,6 +31,7 @@ import (
 	"saccs/internal/datasets"
 	"saccs/internal/experiments"
 	"saccs/internal/extcache"
+	"saccs/internal/nn"
 	"saccs/internal/obs"
 	"saccs/internal/pairing"
 	"saccs/internal/parse"
@@ -43,7 +44,13 @@ func main() {
 	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "queries at or above this duration enter the slow-query log (:slow)")
 	batchWindow := flag.Duration("batch-window", 250*time.Microsecond, "gather window for cross-request extraction batching (0 disables)")
 	batchMax := flag.Int("batch-max", 16, "max sentences per batched decode forward (<2 disables batching)")
+	precisionFlag := flag.String("precision", "mixed", "utterance decode arithmetic: float64, mixed, or int8 (indexing always runs float64)")
 	flag.Parse()
+	precision, err := nn.ParsePrecision(*precisionFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saccs-chat: %v\n", err)
+		os.Exit(1)
+	}
 
 	o := obs.NewObserver()
 	ring := obs.NewRingSink(512)
@@ -75,12 +82,14 @@ func main() {
 	cfg := tagger.DefaultConfig()
 	cfg.Adversarial = true
 	cfg.Epsilon = 0.2
+	cfg.Precision = precision
 	tg := tagger.New(enc, cfg)
 	tg.Obs = o
 	tg.Train(data.Train)
+	pairer := pairing.Tree{Lex: parse.DomainLexicon(world.Domain), FromOpinions: true}
 	ex := &core.Extractor{
 		Tagger: tg,
-		Pairer: pairing.Tree{Lex: parse.DomainLexicon(world.Domain), FromOpinions: true},
+		Pairer: pairer,
 		// Interactive sessions repeat themselves; the generation-keyed cache
 		// serves repeated sentences without a decode (see :stats).
 		Cache:        extcache.New(4096),
@@ -89,7 +98,17 @@ func main() {
 	}
 	svc := core.NewService(world, ex, nil, core.DefaultConfig())
 	svc.SetObserver(o)
-	svc.BuildEntityTags(core.NeuralSource{E: ex})
+	// Review indexing always extracts on the float64 reference path, whatever
+	// -precision serves the REPL's utterance decodes — same split as the
+	// library facade, so the indexed world is precision-independent.
+	refEx := &core.Extractor{
+		Tagger:       tagger.ReferenceView{M: tg},
+		Pairer:       pairer,
+		Cache:        extcache.New(4096),
+		BatchWindow:  *batchWindow,
+		BatchMaxSize: *batchMax,
+	}
+	svc.BuildEntityTags(core.NeuralSource{E: refEx})
 	svc.IndexTags(svc.CanonicalTags()[:8])
 	fmt.Printf("ready: %d restaurants, %d reviews, %d tags indexed\n\n",
 		len(world.Entities), world.ReviewCount(), svc.Index.Len())

@@ -30,6 +30,7 @@ import (
 	"saccs/internal/extcache"
 	"saccs/internal/index"
 	"saccs/internal/ingest"
+	"saccs/internal/nn"
 	"saccs/internal/obs"
 	"saccs/internal/pairing"
 	"saccs/internal/parse"
@@ -48,7 +49,13 @@ func main() {
 	stream := flag.Bool("stream", false, "feed reviews through the WAL-backed streaming ingester instead of one batch build")
 	walDir := flag.String("wal-dir", "", "durable WAL directory for -stream (empty: in-process only, no durability)")
 	publishEvery := flag.Int("publish-every", 64, "publish a fresh snapshot every N streamed reviews (-stream only)")
+	precisionFlag := flag.String("precision", "float64", "review decode arithmetic for the build: float64 (the library's indexing default), mixed, or int8")
 	flag.Parse()
+	precision, err := nn.ParsePrecision(*precisionFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saccs-index: %v\n", err)
+		os.Exit(1)
+	}
 
 	o := obs.NewObserver()
 	o.SetTelemetry(obs.NewTelemetry(obs.TelemetryConfig{Metrics: o.Metrics}))
@@ -88,6 +95,7 @@ func main() {
 		cfg := tagger.DefaultConfig()
 		cfg.Adversarial = true
 		cfg.Epsilon = 0.2
+		cfg.Precision = precision
 		tg := tagger.New(enc, cfg)
 		tg.Obs = o
 		tg.Train(data.Train)

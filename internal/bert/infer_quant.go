@@ -1,0 +1,186 @@
+package bert
+
+import (
+	"math"
+	"time"
+
+	"saccs/internal/mat"
+	"saccs/internal/nn"
+)
+
+// Quantized batched inference: the reduced-precision twin of batch.go.
+// Activations flow as float32; the eight linear projections per block (four
+// attention, two FFN — plus Q/K/V/O weights shared across sequences) run on
+// the int8 GEMM with dynamic activation quantization, while the
+// drift-sensitive stages — LayerNorm (moments in float64), softmax
+// (float64 exponentials rounded once), GELU, residual adds — stay in the
+// float32 tier. The same packed starts/lens layout as the float64 batch
+// path; every stage is row- or sequence-local, so a solo decode through a
+// one-sequence batch is bit-identical to the same sequence inside any batch.
+
+// InferQuantBatchTokensArena tokenizes and encodes several sequences in one
+// reduced-precision forward pass, returning packed float32 hidden states
+// plus the starts/lens addressing. Sequences longer than MaxLen are
+// truncated, exactly as in the float64 paths. Writes no receiver state; safe
+// for concurrent callers, each with its own arena.
+func (m *Model) InferQuantBatchTokensArena(seqs [][]string, a *nn.Arena, p nn.Precision) (*mat.Mat32, []int, []int) {
+	total := 0
+	starts := a.Ints(len(seqs))
+	lens := a.Ints(len(seqs))
+	for s, seq := range seqs {
+		n := len(seq)
+		if n > m.Cfg.MaxLen {
+			n = m.Cfg.MaxLen
+		}
+		starts[s], lens[s] = total, n
+		total += n
+	}
+	if m.o != nil {
+		defer m.encHist.ObserveSince(time.Now())
+		m.encTokens.Add(int64(total))
+	}
+	x := a.Mat32Raw(total, m.Cfg.Dim)
+	for s, seq := range seqs {
+		base := starts[s]
+		for i := 0; i < lens[s]; i++ {
+			row := x.Row(base + i)
+			emb := m.TokEmb.Table.W.Row(m.Vocab.ID(seq[i]))
+			pos := m.PosEmb.Table.W.Row(i)
+			for j := range row {
+				row[j] = float32(emb[j] + pos[j])
+			}
+		}
+	}
+	h := x
+	for _, b := range m.Blocks {
+		h = b.InferQuantBatch(h, starts, lens, a)
+	}
+	_ = p // every block projection is int8 in both quantized modes
+	return h, starts, lens
+}
+
+// InferQuantBatch runs the encoder layer over packed sequences in reduced
+// precision: int8 projections, float32 residuals/GELU, float64-moment layer
+// norms.
+func (b *Block) InferQuantBatch(xs *mat.Mat32, starts, lens []int, a *nn.Arena) *mat.Mat32 {
+	n := xs.Rows
+	attnOut := b.Attn.InferQuantBatch(xs, starts, lens, a)
+	res1 := a.Mat32Raw(n, xs.Cols)
+	for i := 0; i < n; i++ {
+		v := res1.Row(i)
+		x := xs.Row(i)
+		ao := attnOut.Row(i)
+		for j := range v {
+			v[j] = x[j] + ao[j]
+		}
+	}
+	h1 := a.Mat32Raw(n, xs.Cols)
+	for i := 0; i < n; i++ {
+		b.LN1.ApplyInto32(h1.Row(i), res1.Row(i))
+	}
+	ffPre := b.FF1.InferQuantBatch(h1, a)
+	ffAct := a.Mat32Raw(n, ffPre.Cols)
+	for i := 0; i < n; i++ {
+		nn.GELUInto32(ffAct.Row(i), ffPre.Row(i))
+	}
+	ffnOuts := b.FF2.InferQuantBatch(ffAct, a)
+	res2 := a.Mat32Raw(n, xs.Cols)
+	for i := 0; i < n; i++ {
+		v := res2.Row(i)
+		h := h1.Row(i)
+		fo := ffnOuts.Row(i)
+		for j := range v {
+			v[j] = h[j] + fo[j]
+		}
+	}
+	out := a.Mat32Raw(n, xs.Cols)
+	for i := 0; i < n; i++ {
+		b.LN2.ApplyInto32(out.Row(i), res2.Row(i))
+	}
+	return out
+}
+
+// InferQuantBatch runs self-attention over packed sequences in reduced
+// precision: Q/K/V/O are int8 GEMMs, the score/softmax/weighted-sum loops
+// keep InferBatch's exact structure (two-key unroll, zero-weight skip) with
+// float32 accumulation and float64 exponentials in the softmax.
+func (m *MultiHeadAttention) InferQuantBatch(xs *mat.Mat32, starts, lens []int, a *nn.Arena) *mat.Mat32 {
+	q := m.Wq.InferQuantBatch(xs, a)
+	k := m.Wk.InferQuantBatch(xs, a)
+	v := m.Wv.InferQuantBatch(xs, a)
+	scale := float32(1 / math.Sqrt(float64(m.HeadDim)))
+	headOut := a.Mat32(xs.Rows, m.Dim)
+	maxLen := 0
+	for _, n := range lens {
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	scores := a.F32Raw(maxLen)
+	attn := a.F32Raw(maxLen)
+	for s, n := range lens {
+		base := starts[s]
+		sc, at := scores[:n], attn[:n]
+		for h := 0; h < m.Heads; h++ {
+			lo := h * m.HeadDim
+			hi := lo + m.HeadDim
+			for i := 0; i < n; i++ {
+				qi := q.Row(base + i)[lo:hi:hi]
+				j := 0
+				for ; j+1 < n; j += 2 {
+					kj0 := k.Row(base + j)[lo:hi:hi]
+					kj1 := k.Row(base + j + 1)[lo:hi:hi]
+					var s0, s1 float32
+					for d, qv := range qi {
+						s0 += qv * kj0[d]
+						s1 += qv * kj1[d]
+					}
+					sc[j] = s0 * scale
+					sc[j+1] = s1 * scale
+				}
+				for ; j < n; j++ {
+					kj := k.Row(base + j)[lo:hi:hi]
+					var s float32
+					for d, qv := range qi {
+						s += qv * kj[d]
+					}
+					sc[j] = s * scale
+				}
+				mat.Softmax32(at, sc)
+				out := headOut.Row(base + i)[lo:hi:hi]
+				for j := 0; j < n; j++ {
+					aj := at[j]
+					if aj == 0 {
+						continue
+					}
+					vj := v.Row(base + j)[lo:hi:hi]
+					for d := range out {
+						out[d] += aj * vj[d]
+					}
+				}
+			}
+		}
+	}
+	return m.Wo.InferQuantBatch(headOut, a)
+}
+
+// ApplyInto32 normalizes the float32 row x into y with the moments computed
+// in float64 — layer norm is the drift amplifier of the stack (it divides by
+// a variance that quantization error perturbs), so the mixed mode keeps its
+// internals at full precision and rounds once on output.
+func (ln *LayerNorm) ApplyInto32(y, x mat.Vec32) {
+	var sum float64
+	for _, v := range x {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(x))
+	var varSum float64
+	for _, v := range x {
+		d := float64(v) - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum/float64(len(x)) + ln.Eps)
+	for i, v := range x {
+		y[i] = float32((float64(v)-mean)/std*ln.Gain.W.Data[i] + ln.Bias.W.Data[i])
+	}
+}

@@ -1,0 +1,102 @@
+package mat
+
+import "math"
+
+// Fast scalar float32 transcendentals for the reduced-precision inference
+// tier. The float64 math package routines cost hundreds of cycles each and
+// dominate the quantized decode profile (LSTM gates, GELU, attention
+// softmax); these polynomial kernels bring that to ~20 flops at float32
+// accuracy, which is far below the int8 quantization noise the quant-drift
+// oracle budgets for. Both are pure float32 arithmetic — IEEE-exact in Go on
+// every platform — so the quantized decode's cross-machine bit-identity
+// contract is preserved.
+
+// Exp32 computes e^x in float32: range reduction x = n·ln2 + r with the
+// classic hi/lo split of ln2, a degree-5 minimax polynomial for e^r on
+// [-ln2/2, ln2/2] (Cephes expf coefficients), and exponent reassembly by bit
+// manipulation. Accurate to ~2 ulp over the finite range; saturates to +Inf
+// above ~88.02 and to 0 below ~-87.34 (the float32 normal range).
+func Exp32(x float32) float32 {
+	const (
+		expHi = 88.02
+		expLo = -87.33654
+		log2e = 1.44269504088896341
+		ln2Hi = 0.693359375
+		ln2Lo = -2.12194440e-4
+		expP0 = 1.9875691500e-4
+		expP1 = 1.3981999507e-3
+		expP2 = 8.3334519073e-3
+		expP3 = 4.1665795894e-2
+		expP4 = 1.6666665459e-1
+		expP5 = 5.0000001201e-1
+	)
+	if x != x { // NaN
+		return x
+	}
+	if x > expHi {
+		return float32(math.Inf(1))
+	}
+	if x < expLo {
+		return 0
+	}
+	// n = round(x/ln2): shift into [-ln2/2, ln2/2].
+	fx := x*log2e + 0.5
+	n := int32(fx)
+	if float32(n) > fx { // int32 truncates toward zero; we need floor
+		n--
+	}
+	fn := float32(n)
+	r := x - fn*ln2Hi
+	r -= fn * ln2Lo
+	z := r * r
+	y := float32(expP0)
+	y = y*r + expP1
+	y = y*r + expP2
+	y = y*r + expP3
+	y = y*r + expP4
+	y = y*r + expP5
+	y = y*z + r + 1
+	// Scale by 2^n: n is in [-126, 127] here, so the biased exponent is a
+	// normal float32 and the multiply is exact.
+	return y * math.Float32frombits(uint32(n+127)<<23)
+}
+
+// Tanh32 computes tanh(x) in float32 as the odd rational approximation
+// α(x²)·x / β(x²) on the clamped range |x| ≤ 7.905 (beyond which tanh is ±1
+// to float32 precision). The 13/6-degree coefficient pair is the standard
+// float32 minimax fit; accurate to a few ulp everywhere.
+func Tanh32(x float32) float32 {
+	const clamp = 7.90531110763549805
+	if x != x { // NaN
+		return x
+	}
+	if x > clamp {
+		x = clamp
+	} else if x < -clamp {
+		x = -clamp
+	}
+	x2 := x * x
+	alpha := float32(-2.76076847742355e-16)
+	alpha = alpha*x2 + 2.00018790482477e-13
+	alpha = alpha*x2 + -8.60467152213735e-11
+	alpha = alpha*x2 + 5.12229709037114e-08
+	alpha = alpha*x2 + 1.48572235717979e-05
+	alpha = alpha*x2 + 6.37261928875436e-04
+	alpha = alpha*x2 + 4.89352455891786e-03
+	alpha *= x
+	beta := float32(1.19825839466702e-06)
+	beta = beta*x2 + 1.18534705686654e-04
+	beta = beta*x2 + 2.26843463243900e-03
+	beta = beta*x2 + 4.89352518554385e-03
+	return alpha / beta
+}
+
+// Sigmoid32 is the float32 logistic 1/(1+e^-x), computed through Exp32 with
+// the numerically stable branch structure of the float64 nn.Sigmoid.
+func Sigmoid32(x float32) float32 {
+	if x >= 0 {
+		return 1 / (1 + Exp32(-x))
+	}
+	e := Exp32(x)
+	return e / (1 + e)
+}

@@ -1,0 +1,85 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr32 is |got-want|/max(|want|, tiny) in float64.
+func relErr32(got float32, want float64) float64 {
+	d := math.Abs(float64(got) - want)
+	m := math.Abs(want)
+	if m < 1e-30 {
+		return d
+	}
+	return d / m
+}
+
+func TestExp32Accuracy(t *testing.T) {
+	// Sweep the useful range densely; relative error must stay at float32
+	// polynomial accuracy (a few ulp ≈ 1e-6).
+	for x := -87.0; x <= 88.0; x += 0.0137 {
+		got := Exp32(float32(x))
+		want := math.Exp(x)
+		if e := relErr32(got, want); e > 5e-6 {
+			t.Fatalf("Exp32(%v) = %v, want %v (rel err %v)", x, got, want, e)
+		}
+	}
+	if got := Exp32(0); got != 1 {
+		t.Fatalf("Exp32(0) = %v, want 1", got)
+	}
+	if got := Exp32(200); !math.IsInf(float64(got), 1) {
+		t.Fatalf("Exp32(200) = %v, want +Inf", got)
+	}
+	if got := Exp32(-200); got != 0 {
+		t.Fatalf("Exp32(-200) = %v, want 0", got)
+	}
+	if got := Exp32(float32(math.NaN())); got == got {
+		t.Fatalf("Exp32(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestTanh32Accuracy(t *testing.T) {
+	for x := -12.0; x <= 12.0; x += 0.0031 {
+		got := Tanh32(float32(x))
+		want := math.Tanh(x)
+		if e := relErr32(got, want); e > 5e-6 {
+			t.Fatalf("Tanh32(%v) = %v, want %v (rel err %v)", x, got, want, e)
+		}
+	}
+	if got := Tanh32(0); got != 0 {
+		t.Fatalf("Tanh32(0) = %v, want 0", got)
+	}
+	// Saturation and odd symmetry at the clamp boundary.
+	if got := Tanh32(50); math.Abs(float64(got)-1) > 1e-6 {
+		t.Fatalf("Tanh32(50) = %v, want ≈1", got)
+	}
+	for _, x := range []float32{0.1, 1.5, 7, 30} {
+		if Tanh32(-x) != -Tanh32(x) {
+			t.Fatalf("Tanh32 not odd at %v: %v vs %v", x, Tanh32(-x), -Tanh32(x))
+		}
+	}
+	if got := Tanh32(float32(math.NaN())); got == got {
+		t.Fatalf("Tanh32(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestSigmoid32Accuracy(t *testing.T) {
+	for x := -30.0; x <= 30.0; x += 0.0071 {
+		got := Sigmoid32(float32(x))
+		want := 1 / (1 + math.Exp(-x))
+		if e := relErr32(got, want); e > 5e-6 {
+			t.Fatalf("Sigmoid32(%v) = %v, want %v (rel err %v)", x, got, want, e)
+		}
+	}
+	if got := Sigmoid32(0); got != 0.5 {
+		t.Fatalf("Sigmoid32(0) = %v, want 0.5", got)
+	}
+	// The stable branch keeps tiny tails finite and positive.
+	if got := Sigmoid32(-80); got < 0 || got > 1e-30 {
+		t.Fatalf("Sigmoid32(-80) = %v, want tiny positive", got)
+	}
+	if got := Sigmoid32(80); got != 1 {
+		t.Fatalf("Sigmoid32(80) = %v, want 1", got)
+	}
+}

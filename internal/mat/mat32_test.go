@@ -1,0 +1,116 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func naiveMatMul32(a, b *Mat32) *Mat32 {
+	out := NewMat32(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float32
+			for k := 0; k < a.Cols; k++ {
+				s += a.Data[i*a.Cols+k] * b.Data[k*b.Cols+j]
+			}
+			out.Data[i*out.Cols+j] = s
+		}
+	}
+	return out
+}
+
+var f32Shapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 8, 16},
+	{2, 7, 32},
+	{3, 16, 33},
+	{5, 24, 48},
+	{4, 32, 15}, // below the 16-col asm floor: scalar path
+	{7, 12, 100},
+	{8, 64, 128},
+}
+
+// TestMatMulF32AsmMatchesScalar pins the float32 determinism contract: the
+// AVX-512 path and the scalar fallback must agree bit for bit, since the
+// mixed-precision decode may take either depending on the machine.
+func TestMatMulF32AsmMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, sh := range f32Shapes {
+		a := randMat32(rng, sh.m, sh.k)
+		b := randMat32(rng, sh.k, sh.n)
+		want := naiveMatMul32(a, b)
+
+		got := NewMat32(sh.m, sh.n)
+		MatMulF32Into(got, a, b)
+		requireBitEqual32(t, "MatMulF32Into", want, got)
+
+		if hasAVX512 {
+			hasAVX512 = false
+			scalar := NewMat32(sh.m, sh.n)
+			MatMulF32Into(scalar, a, b)
+			hasAVX512 = true
+			requireBitEqual32(t, "f32 asm vs scalar", want, scalar)
+		}
+	}
+}
+
+func TestMulABtF32IntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, sh := range f32Shapes {
+		a := randMat32(rng, sh.m, sh.k)
+		bt := randMat32(rng, sh.n, sh.k)
+		want := NewMat32(sh.m, sh.n)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				var s float32
+				for k := 0; k < sh.k; k++ {
+					s += a.Data[i*sh.k+k] * bt.Data[j*sh.k+k]
+				}
+				want.Data[i*sh.n+j] = s
+			}
+		}
+		got := NewMat32(sh.m, sh.n)
+		MulABtF32Into(got, a, bt)
+		requireBitEqual32(t, "MulABtF32Into", want, got)
+	}
+}
+
+func TestSoftmax32(t *testing.T) {
+	src := Vec32{1, 2, 3, 4}
+	dst := make(Vec32, 4)
+	Softmax32(dst, src)
+	var sum float32
+	for i := 1; i < len(dst); i++ {
+		if dst[i] <= dst[i-1] {
+			t.Fatalf("softmax not increasing with logits: %v", dst)
+		}
+	}
+	for _, v := range dst {
+		sum += v
+	}
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Fatalf("softmax sum = %v, want ≈1", sum)
+	}
+	// Max-shift must survive large logits without overflow.
+	big := Vec32{1000, 1001, 1002}
+	out := make(Vec32, 3)
+	Softmax32(out, big)
+	for _, v := range out {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("softmax overflowed on large logits: %v", out)
+		}
+	}
+}
+
+func TestAddRows32(t *testing.T) {
+	y := NewMat32(2, 3)
+	copy(y.Data, []float32{1, 2, 3, 4, 5, 6})
+	AddRows32(y, Vec32{10, 20, 30})
+	want := []float32{11, 22, 33, 14, 25, 36}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("AddRows32[%d] = %v, want %v", i, y.Data[i], w)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+//go:build amd64
+
+package mat
+
+// AVX-512 fast paths for the quantized kernel family (quant_amd64.s).
+//
+// Integer path: all int8 kernels fill the identical int32 accumulator — the
+// raw offset-binary dot Σ u8(a)·s8(w) — because integer addition is
+// associative, so the VNNI dword groups, the VPMADDWD word pairs, and the
+// scalar loop can reduce in any order and still agree bit for bit. The
+// shared dequantization then happens once, in Go.
+//
+// Float32 path: the f32saxpy kernels follow gemm_amd64.s exactly — lanes
+// span output columns, one unfused VMULPS + VADDPS per k in ascending k
+// order — so MatMulF32Into's vector path rounds identically to its scalar
+// fallback. No FMA anywhere.
+
+//go:noescape
+func int8DotVNNI(acc *int32, a *uint8, packed *int8, groups, blocks int)
+
+//go:noescape
+func int8GemvMadd(acc *int32, a *uint8, w *int8, kp, rows int)
+
+//go:noescape
+func f32saxpy2x32(k int, a0, a1, bp, d0, d1 *float32, bstride int)
+
+//go:noescape
+func f32saxpy1x32(k int, a0, bp, d0 *float32, bstride int)
+
+//go:noescape
+func f32saxpy2x16(k int, a0, a1, bp, d0, d1 *float32, bstride int)
+
+//go:noescape
+func f32saxpy1x16(k int, a0, bp, d0 *float32, bstride int)
+
+// hasAVX512VNNI / hasAVX512BW gate the two int8 vector kernels. Tests flip
+// them (and hasAVX512) to force every downgrade path and compare results.
+var (
+	hasAVX512VNNI = hasAVX512 && cpuidFeature(7, 0, regECX, 11) // AVX512_VNNI
+	hasAVX512BW   = hasAVX512 && cpuidFeature(7, 0, regEBX, 30) // AVX512BW
+)
+
+type cpuidReg int
+
+const (
+	regEBX cpuidReg = iota
+	regECX
+)
+
+func cpuidFeature(leaf, sub uint32, reg cpuidReg, bit uint) bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < leaf {
+		return false
+	}
+	_, b, c, _ := cpuid(leaf, sub)
+	switch reg {
+	case regEBX:
+		return b&(1<<bit) != 0
+	default:
+		return c&(1<<bit) != 0
+	}
+}
+
+// useVNNI reports whether QuantizeRows should build the VNNI-interleaved
+// weight copy.
+func useVNNI() bool { return hasAVX512VNNI }
+
+// int8GemvInto fills acc[0:w.Rows] with the offset-binary dot of one
+// activation row against every weight row, picking the fastest kernel the
+// CPU supports. The VNNI path covers full 16-row blocks via the interleaved
+// copy; its row tail and the no-VNNI path run on the row-major VPMADDWD
+// kernel, and pre-AVX-512 machines take the scalar loop. All paths produce
+// the same int32 bits.
+func int8GemvInto(acc []int32, arow []uint8, w *Int8Weights) {
+	switch {
+	case hasAVX512VNNI && w.vnni != nil:
+		full := w.vnniBlocks * 16
+		int8DotVNNI(&acc[0], &arow[0], &w.vnni[0], w.KP/4, w.vnniBlocks)
+		if tail := w.Rows - full; tail > 0 {
+			if hasAVX512BW {
+				int8GemvMadd(&acc[full], &arow[0], &w.Data[full*w.KP], w.KP, tail)
+			} else {
+				int8GemvGo(acc[full:], arow, w.Data[full*w.KP:], w.KP)
+			}
+		}
+	case hasAVX512BW:
+		int8GemvMadd(&acc[0], &arow[0], &w.Data[0], w.KP, w.Rows)
+	default:
+		int8GemvGo(acc, arow, w.Data, w.KP)
+	}
+}
+
+// gemm32AsmInto computes dst = a·b with the float32 AVX-512 microkernels and
+// returns true, or returns false with dst untouched when the CPU lacks
+// AVX-512 or the shape is degenerate. Column tiles go 32-wide, then 16-wide,
+// then a scalar tail; rows go in pairs with a single-row remainder — the
+// float32 twin of gemmAsmInto.
+func gemm32AsmInto(dst, a, b *Mat32) bool {
+	n := b.Cols
+	k := a.Cols
+	if !hasAVX512 || n < 16 || k == 0 || a.Rows == 0 {
+		return false
+	}
+	bstride := n * 4 // bytes per packed B row
+	n32 := n &^ 31
+	n16 := n &^ 15
+	i := 0
+	for ; i+2 <= a.Rows; i += 2 {
+		a0 := a.Data[i*k : (i+1)*k]
+		a1 := a.Data[(i+1)*k : (i+2)*k]
+		d0 := dst.Data[i*n : (i+1)*n]
+		d1 := dst.Data[(i+1)*n : (i+2)*n]
+		for j := 0; j < n32; j += 32 {
+			f32saxpy2x32(k, &a0[0], &a1[0], &b.Data[j], &d0[j], &d1[j], bstride)
+		}
+		for j := n32; j < n16; j += 16 {
+			f32saxpy2x16(k, &a0[0], &a1[0], &b.Data[j], &d0[j], &d1[j], bstride)
+		}
+		for j := n16; j < n; j++ {
+			var s0, s1 float32
+			for kk := 0; kk < k; kk++ {
+				bv := b.Data[kk*n+j]
+				s0 += a0[kk] * bv
+				s1 += a1[kk] * bv
+			}
+			d0[j], d1[j] = s0, s1
+		}
+	}
+	if i < a.Rows {
+		a0 := a.Data[i*k : (i+1)*k]
+		d0 := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n32; j += 32 {
+			f32saxpy1x32(k, &a0[0], &b.Data[j], &d0[j], bstride)
+		}
+		for j := n32; j < n16; j += 16 {
+			f32saxpy1x16(k, &a0[0], &b.Data[j], &d0[j], bstride)
+		}
+		for j := n16; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += a0[kk] * b.Data[kk*n+j]
+			}
+			d0[j] = s
+		}
+	}
+	return true
+}

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package mat
+
+// Portable fallbacks: no VNNI weight copy, the scalar accumulator kernel,
+// and the scalar float32 GEMM.
+
+func useVNNI() bool { return false }
+
+func int8GemvInto(acc []int32, arow []uint8, w *Int8Weights) {
+	int8GemvGo(acc, arow, w.Data, w.KP)
+}
+
+func gemm32AsmInto(dst, a, b *Mat32) bool { return false }

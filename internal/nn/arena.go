@@ -27,11 +27,26 @@ type Arena struct {
 	ni     int
 	mats   []mat.Mat
 	nm     int
+
+	// Reduced-precision pools for the quantized inference path: float32
+	// activations, offset-binary uint8 activation codes, int32 GEMM
+	// accumulators, and Mat32 headers. Same contract as the float64 pools.
+	f32s   []float32
+	nf32   int
+	u8s    []uint8
+	nu8    int
+	i32s   []int32
+	ni32   int
+	mat32s []mat.Mat32
+	nm32   int
 }
 
 // Reset recycles the arena: every previously returned slice is dead and the
 // backing arrays are reused from the start.
-func (a *Arena) Reset() { a.nf, a.nv, a.ni, a.nm = 0, 0, 0, 0 }
+func (a *Arena) Reset() {
+	a.nf, a.nv, a.ni, a.nm = 0, 0, 0, 0
+	a.nf32, a.nu8, a.ni32, a.nm32 = 0, 0, 0, 0
+}
 
 // Vec returns a zeroed vector of length n backed by the arena.
 func (a *Arena) Vec(n int) mat.Vec {
@@ -110,6 +125,75 @@ func (a *Arena) Ints(n int) []int {
 		s[i] = 0
 	}
 	return s
+}
+
+// F32Raw returns an uninitialized float32 slice backed by the arena. Callers
+// must overwrite every element before reading — the quantized kernels fully
+// fill their outputs.
+func (a *Arena) F32Raw(n int) []float32 {
+	if a.nf32+n > len(a.f32s) {
+		a.f32s = make([]float32, grow(len(a.f32s), n, 1024))
+		a.nf32 = 0
+	}
+	v := a.f32s[a.nf32 : a.nf32+n : a.nf32+n]
+	a.nf32 += n
+	return v
+}
+
+// F32 returns a zeroed float32 slice backed by the arena.
+func (a *Arena) F32(n int) []float32 {
+	v := a.F32Raw(n)
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// U8Raw returns an uninitialized uint8 slice backed by the arena — the
+// activation-code buffers QuantizeRowU8 fully overwrites (padding included).
+func (a *Arena) U8Raw(n int) []uint8 {
+	if a.nu8+n > len(a.u8s) {
+		a.u8s = make([]uint8, grow(len(a.u8s), n, 4096))
+		a.nu8 = 0
+	}
+	v := a.u8s[a.nu8 : a.nu8+n : a.nu8+n]
+	a.nu8 += n
+	return v
+}
+
+// I32Raw returns an uninitialized int32 slice backed by the arena — the GEMM
+// accumulator scratch the int8 kernels fully overwrite.
+func (a *Arena) I32Raw(n int) []int32 {
+	if a.ni32+n > len(a.i32s) {
+		a.i32s = make([]int32, grow(len(a.i32s), n, 1024))
+		a.ni32 = 0
+	}
+	v := a.i32s[a.ni32 : a.ni32+n : a.ni32+n]
+	a.ni32 += n
+	return v
+}
+
+// Mat32Raw is the float32 twin of MatRaw: an uninitialized rows×cols Mat32
+// whose header and data both come from arena pools.
+func (a *Arena) Mat32Raw(rows, cols int) *mat.Mat32 {
+	if a.nm32 >= len(a.mat32s) {
+		a.mat32s = make([]mat.Mat32, grow(len(a.mat32s), 1, 16))
+		a.nm32 = 0
+	}
+	m := &a.mat32s[a.nm32]
+	a.nm32++
+	m.Rows, m.Cols = rows, cols
+	m.Data = a.F32Raw(rows * cols)
+	return m
+}
+
+// Mat32 returns a zeroed rows×cols float32 matrix backed by the arena.
+func (a *Arena) Mat32(rows, cols int) *mat.Mat32 {
+	m := a.Mat32Raw(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
 }
 
 // grow picks the next backing-array size: doubled, at least min, and always

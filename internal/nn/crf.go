@@ -207,6 +207,23 @@ func (c *CRF) Decode(emissions []mat.Vec) []int {
 	return path
 }
 
+// PathScore returns the unnormalized CRF score of one label path under the
+// given emissions: start + per-step emission + transition + end, with the
+// same constraint penalties Decode applies. Decode returns the argmax of
+// this function; exposing it lets differential checks (oracle/quant-drift)
+// measure how much the model actually prefers one path over another.
+func (c *CRF) PathScore(emissions []mat.Vec, path []int) float64 {
+	n := len(emissions)
+	if n == 0 || len(path) != n {
+		return math.Inf(-1)
+	}
+	score := c.start(path[0]) + emissions[0][path[0]]
+	for t := 1; t < n; t++ {
+		score += c.trans(path[t-1], path[t]) + emissions[t][path[t]]
+	}
+	return score + c.End.W.At(0, path[n-1])
+}
+
 // beamHyp is one partial hypothesis during beam decoding.
 type beamHyp struct {
 	score float64

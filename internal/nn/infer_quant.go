@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"saccs/internal/mat"
+)
+
+// Quantized batched inference: the float32/int8 twins of the kernels in
+// infer_batch.go. The layout contract is identical — sequences packed one
+// token per row, addressed by starts/lens — but activations flow as float32
+// and the big projections run on the int8 GEMM. Determinism contract: every
+// kernel is row-independent (or, in the LSTM, depends only on its own
+// sequence's rows), transcendentals go through the pure-float32 polynomial
+// kernels in mat (fastmath32.go) whose arithmetic is IEEE-exact in Go, and
+// the mat float32/int8 kernels are bit-identical across dispatch paths — so
+// a quantized decode produces the same bits solo or batched, on any machine.
+// The solo quantized path IS the batched path with one sequence
+// (tagger.predictQuant), which makes that identity structural.
+
+// Sigmoid32 is the fast float32 logistic (mat.Sigmoid32).
+func Sigmoid32(x float32) float32 { return mat.Sigmoid32(x) }
+
+// Tanh32 is the fast float32 tanh (mat.Tanh32).
+func Tanh32(x float32) float32 { return mat.Tanh32(x) }
+
+// GELU32 applies the tanh-approximation GELU entirely in float32, using the
+// same constant as the float64 gelu and the fast Tanh32.
+func GELU32(x float32) float32 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return 0.5 * x * (1 + mat.Tanh32(c*(x+0.044715*x*x*x)))
+}
+
+// GELUInto32 applies GELU32 element-wise into y.
+func GELUInto32(y, x mat.Vec32) {
+	for i, v := range x {
+		y[i] = GELU32(v)
+	}
+}
+
+// quantizeActRows quantizes every row of x to offset-binary uint8 codes with
+// per-row scales, arena-backed: the dynamic activation-quantization step in
+// front of each int8 GEMM.
+func quantizeActRows(x *mat.Mat32, a *Arena) (aq []uint8, scales []float32, kp int) {
+	kp = mat.PadK(x.Cols)
+	aq = a.U8Raw(x.Rows * kp)
+	scales = a.F32Raw(x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		scales[i] = mat.QuantizeRowU8(aq[i*kp:(i+1)*kp], x.Row(i))
+	}
+	return aq, scales, kp
+}
+
+// InferQuantBatch applies the layer to every row of x on the int8 kernel:
+// dynamic per-row activation quantization, one int8 GEMM with the bias fused
+// into dequantization. Arena-backed and allocation-free once warm.
+func (l *Linear) InferQuantBatch(x *mat.Mat32, a *Arena) *mat.Mat32 {
+	q := l.Quantize()
+	aq, scales, _ := quantizeActRows(x, a)
+	y := a.Mat32Raw(x.Rows, l.Out)
+	acc := a.I32Raw(l.Out)
+	mat.MulABtInt8Into(y, aq, scales, q.W, q.Bias, acc)
+	return y
+}
+
+// InferF32Batch applies the layer to every row of x in float32 — the
+// drift-sensitive projection path of the mixed mode.
+func (l *Linear) InferF32Batch(x *mat.Mat32, a *Arena) *mat.Mat32 {
+	f := l.Float32()
+	y := a.Mat32Raw(x.Rows, l.Out)
+	mat.MulABtF32Into(y, x, f.W)
+	mat.AddRows32(y, f.Bias)
+	return y
+}
+
+// InferQuantBatch runs the LSTM over packed sequences in reduced precision,
+// mirroring InferBatch's structure exactly: the input projection of every
+// token is one int8 GEMM (bias fused), then each time step gathers the live
+// sequences' float32 hidden states and runs the recurrent projection — as a
+// float32 GEMM against the pre-transposed WhT in Mixed mode, or as a second
+// dynamic int8 GEMM in Int8 mode. Gate math is float32 with float64
+// transcendentals (Sigmoid32/Tanh32), per-element order identical to the
+// float64 path's.
+func (l *LSTM) InferQuantBatch(xs *mat.Mat32, starts, lens []int, a *Arena, p Precision) *mat.Mat32 {
+	H := l.Hidden
+	out := a.Mat32Raw(xs.Rows, H)
+	nSeq := len(lens)
+	maxLen := 0
+	for _, n := range lens {
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	if maxLen == 0 {
+		return out
+	}
+
+	q := l.Quantize(p)
+	zx := a.Mat32Raw(xs.Rows, 4*H)
+	{
+		aq, scales, _ := quantizeActRows(xs, a)
+		acc := a.I32Raw(4 * H)
+		mat.MulABtInt8Into(zx, aq, scales, q.Wx, q.Bias, acc) // bias fused here
+	}
+
+	h := a.Mat32(nSeq, H)
+	c := a.Mat32(nSeq, H)
+	hbuf := a.Mat32Raw(nSeq, H)
+	zh := a.Mat32Raw(nSeq, 4*H)
+	act := a.Ints(nSeq)
+	var hq []uint8
+	var hqScales []float32
+	var hkp int
+	var acc4 []int32
+	if q.Wh8 != nil {
+		hkp = mat.PadK(H)
+		hq = a.U8Raw(nSeq * hkp)
+		hqScales = a.F32Raw(nSeq)
+		acc4 = a.I32Raw(4 * H)
+	}
+
+	for t := 0; t < maxLen; t++ {
+		nAct := 0
+		for s := 0; s < nSeq; s++ {
+			if lens[s] > t {
+				act[nAct] = s
+				nAct++
+			}
+		}
+		hbuf.Rows, zh.Rows = nAct, nAct
+		for p := 0; p < nAct; p++ {
+			copy(hbuf.Row(p), h.Row(act[p]))
+		}
+		if q.Wh8 != nil {
+			for p := 0; p < nAct; p++ {
+				hqScales[p] = mat.QuantizeRowU8(hq[p*hkp:(p+1)*hkp], hbuf.Row(p))
+			}
+			mat.MulABtInt8Into(zh, hq[:nAct*hkp], hqScales[:nAct], q.Wh8, nil, acc4)
+		} else {
+			mat.MatMulF32Into(zh, hbuf, q.WhT)
+		}
+		for p := 0; p < nAct; p++ {
+			s := act[p]
+			zxr := zx.Row(starts[s] + t)
+			zhr := zh.Row(p)
+			cr := c.Row(s)
+			hr := h.Row(s)
+			for j := 0; j < H; j++ {
+				ig := Sigmoid32(zxr[j] + zhr[j])
+				fg := Sigmoid32(zxr[H+j] + zhr[H+j])
+				gg := Tanh32(zxr[2*H+j] + zhr[2*H+j])
+				og := Sigmoid32(zxr[3*H+j] + zhr[3*H+j])
+				cr[j] = fg*cr[j] + ig*gg
+				hr[j] = og * Tanh32(cr[j])
+			}
+			copy(out.Row(starts[s]+t), hr)
+		}
+	}
+	return out
+}
+
+// InferQuantBatch runs the bidirectional LSTM over packed sequences in
+// reduced precision and returns per-token [fwd_t ; bwd_t] concatenations —
+// the float32 twin of BiLSTM.InferBatch.
+func (b *BiLSTM) InferQuantBatch(xs *mat.Mat32, starts, lens []int, a *Arena, p Precision) *mat.Mat32 {
+	fh := b.Fwd.InferQuantBatch(xs, starts, lens, a, p)
+	rev := a.Mat32Raw(xs.Rows, xs.Cols)
+	for s, n := range lens {
+		base := starts[s]
+		for i := 0; i < n; i++ {
+			copy(rev.Row(base+n-1-i), xs.Row(base+i))
+		}
+	}
+	bhRev := b.Bwd.InferQuantBatch(rev, starts, lens, a, p)
+	H := b.Fwd.Hidden
+	out := a.Mat32Raw(xs.Rows, b.OutDim())
+	for s, n := range lens {
+		base := starts[s]
+		for t := 0; t < n; t++ {
+			v := out.Row(base + t)
+			copy(v[:H], fh.Row(base+t))
+			copy(v[H:], bhRev.Row(base+n-1-t))
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"saccs/internal/mat"
+)
+
+// randLinearInput builds a Linear layer and a batch of input rows with
+// activations in a realistic post-LayerNorm range.
+func randLinearInput(t *testing.T, rng *rand.Rand, in, out, rows int) (*Linear, *mat.Mat32, [][]float64) {
+	t.Helper()
+	l := NewLinear(rng, "q", in, out)
+	x32 := mat.NewMat32(rows, in)
+	x64 := make([][]float64, rows)
+	for r := 0; r < rows; r++ {
+		x64[r] = make([]float64, in)
+		row := x32.Row(r)
+		for c := 0; c < in; c++ {
+			v := rng.NormFloat64() * 2
+			x64[r][c] = float64(float32(v))
+			row[c] = float32(v)
+		}
+	}
+	return l, x32, x64
+}
+
+// TestLinearQuantTracksFloat64 bounds the int8 and f32 batch kernels against
+// the float64 Forward on the same inputs: the f32 tier must agree to float32
+// rounding, the int8 tier to a small fraction of the output scale.
+func TestLinearQuantTracksFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l, x32, x64 := randLinearInput(t, rng, 48, 24, 5)
+	var a Arena
+	a.Reset()
+	q := l.InferQuantBatch(x32, &a)
+	f := l.InferF32Batch(x32, &a)
+
+	var scale, qErr, fErr float64
+	for r := range x64 {
+		want := l.Forward(mat.Vec(x64[r]))
+		for j, w := range want {
+			if aw := math.Abs(w); aw > scale {
+				scale = aw
+			}
+			if d := math.Abs(float64(q.Row(r)[j]) - w); d > qErr {
+				qErr = d
+			}
+			if d := math.Abs(float64(f.Row(r)[j]) - w); d > fErr {
+				fErr = d
+			}
+		}
+	}
+	if fErr > 1e-4*scale {
+		t.Fatalf("f32 kernel error %v over scale %v, want float32-rounding-level", fErr, scale)
+	}
+	if qErr > 0.02*scale {
+		t.Fatalf("int8 kernel error %v over scale %v, want <= 2%% of scale", qErr, scale)
+	}
+}
+
+// TestQuantSlotInvalidatesOnMutation pins the quantize-at-load invalidation
+// protocol: the frozen copy is cached while the weights hold still and is
+// rebuilt from the new weights after a Param mutation (what an optimizer
+// step does via NoteMutated).
+func TestQuantSlotInvalidatesOnMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := NewLinear(rng, "q", 8, 4)
+	q1 := l.Quantize()
+	if l.Quantize() != q1 {
+		t.Fatal("unchanged weights rebuilt the frozen int8 copy")
+	}
+	f1 := l.Float32()
+	if l.Float32() != f1 {
+		t.Fatal("unchanged weights rebuilt the frozen f32 copy")
+	}
+
+	l.Weight.W.Data[0] += 1
+	l.Weight.NoteMutated()
+	q2 := l.Quantize()
+	if q2 == q1 {
+		t.Fatal("weight mutation did not invalidate the frozen int8 copy")
+	}
+	f2 := l.Float32()
+	if f2 == f1 {
+		t.Fatal("weight mutation did not invalidate the frozen f32 copy")
+	}
+	// The rebuilt copies reflect the mutated weights.
+	wantW := float32(l.Weight.W.Data[0])
+	if got := f2.W.Row(0)[0]; got != wantW {
+		t.Fatalf("rebuilt f32 weight %v, want %v", got, wantW)
+	}
+}

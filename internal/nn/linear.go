@@ -13,8 +13,12 @@ type Linear struct {
 	Bias    *Param // 1×Out
 
 	// pack caches Weightᵀ for the batched GEMM path, keyed on the weight
-	// version (see packedTransposed). Never copy a Linear by value.
-	pack packSlot
+	// version (see packedTransposed); quant and f32 cache the frozen
+	// reduced-precision inference copies the same way (see quant.go). Never
+	// copy a Linear by value.
+	pack  packSlot
+	quant quantSlot[LinearQuant]
+	f32   quantSlot[LinearF32]
 }
 
 // NewLinear returns a Xavier-initialized linear layer.

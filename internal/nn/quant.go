@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"sync/atomic"
+
+	"saccs/internal/mat"
+)
+
+// Quantize-at-load: layers freeze reduced-precision copies of their weights
+// the first time a quantized decode touches them, and cache the copy against
+// the parameters' mutation versions — the same invalidation protocol as the
+// transposed-pack cache in infer_batch.go. A retrain's optimizer step bumps
+// every touched Param's version (Param.NoteMutated), so the next quantized
+// decode after a Generation() bump rebuilds from the settled weights; a torn
+// copy taken mid-step is keyed to a version that no longer matches and can
+// never be served again. The frozen copies are immutable and shared by any
+// number of concurrent decodes.
+
+// quantSlot caches one frozen reduced-precision weight copy against a
+// combined parameter-version key.
+type quantSlot[T any] struct {
+	p atomic.Pointer[quantEntry[T]]
+}
+
+type quantEntry[T any] struct {
+	key [3]uint64
+	v   *T
+}
+
+// cached returns the slot's value for key, or rebuilds it with build. The
+// key's versions must be read before build reads the weights (the callers
+// below do), preserving the torn-copy safety argument of packedTransposed.
+func (s *quantSlot[T]) cached(key [3]uint64, build func() *T) *T {
+	if c := s.p.Load(); c != nil && c.key == key {
+		return c.v
+	}
+	v := build()
+	s.p.Store(&quantEntry[T]{key: key, v: v})
+	return v
+}
+
+// LinearQuant is a linear layer's frozen int8 inference form: per-output-row
+// symmetric weight codes plus a float32 bias the kernel fuses into its
+// dequantization loop.
+type LinearQuant struct {
+	W    *mat.Int8Weights // Out×In codes
+	Bias []float32        // len Out
+}
+
+// LinearF32 is a linear layer's frozen float32 inference form, for the
+// drift-sensitive projections the mixed mode keeps out of int8.
+type LinearF32 struct {
+	W    *mat.Mat32 // Out×In
+	Bias []float32  // len Out
+}
+
+func biasF32(p *Param) []float32 {
+	src := p.W.Row(0)
+	b := make([]float32, len(src))
+	for i, v := range src {
+		b[i] = float32(v)
+	}
+	return b
+}
+
+// Quantize returns the layer's frozen int8 form, rebuilding it only when the
+// weights' versions moved (retrain).
+func (l *Linear) Quantize() *LinearQuant {
+	key := [3]uint64{l.Weight.Version(), l.Bias.Version(), 0}
+	return l.quant.cached(key, func() *LinearQuant {
+		return &LinearQuant{W: mat.QuantizeRows(l.Weight.W), Bias: biasF32(l.Bias)}
+	})
+}
+
+// Float32 returns the layer's frozen float32 form, version-cached like
+// Quantize.
+func (l *Linear) Float32() *LinearF32 {
+	key := [3]uint64{l.Weight.Version(), l.Bias.Version(), 0}
+	return l.f32.cached(key, func() *LinearF32 {
+		w := l.Weight.W
+		m := mat.NewMat32(w.Rows, w.Cols)
+		for i, v := range w.Data {
+			m.Data[i] = float32(v)
+		}
+		return &LinearF32{W: m, Bias: biasF32(l.Bias)}
+	})
+}
+
+// LSTMQuant is an LSTM's frozen reduced-precision inference form. The input
+// projection Wx is always int8 (it is the big In-wide GEMM). The recurrent
+// projection depends on the mode: Mixed keeps it float32 — WhT is Wh
+// pre-transposed to H×4H so the per-timestep recurrence is one row-major
+// MatMulF32Into — while Int8 quantizes it too (Wh8, WhT nil). Bias is the
+// float32 gate bias, fused into the Wx GEMM's dequantization.
+type LSTMQuant struct {
+	Wx   *mat.Int8Weights // 4H×In
+	WhT  *mat.Mat32       // H×4H (Mixed), nil in Int8 mode
+	Wh8  *mat.Int8Weights // 4H×H (Int8), nil in Mixed mode
+	Bias []float32        // len 4H
+}
+
+// Quantize returns the LSTM's frozen form for the given mode (Mixed or
+// Int8), version-cached per mode.
+func (l *LSTM) Quantize(p Precision) *LSTMQuant {
+	key := [3]uint64{l.Wx.Version(), l.Wh.Version(), l.B.Version()}
+	slot := &l.quantMixed
+	if p == Int8 {
+		slot = &l.quantInt8
+	}
+	return slot.cached(key, func() *LSTMQuant {
+		q := &LSTMQuant{Wx: mat.QuantizeRows(l.Wx.W), Bias: biasF32(l.B)}
+		if p == Int8 {
+			q.Wh8 = mat.QuantizeRows(l.Wh.W)
+			return q
+		}
+		wh := l.Wh.W // 4H×H
+		t := mat.NewMat32(wh.Cols, wh.Rows)
+		for i := 0; i < wh.Rows; i++ {
+			for j := 0; j < wh.Cols; j++ {
+				t.Data[j*wh.Rows+i] = float32(wh.Data[i*wh.Cols+j])
+			}
+		}
+		q.WhT = t
+		return q
+	})
+}

@@ -29,11 +29,21 @@ type BatchArenaEncoder interface {
 // degenerate single-sequence batch (where the shared pass has nothing to
 // amortize).
 func (m *Model) PredictBatch(seqs [][]string) [][]tokenize.Label {
+	return m.PredictBatchAt(seqs, m.cfg.Precision)
+}
+
+// PredictBatchAt is PredictBatch at an explicit precision (see PredictAt).
+func (m *Model) PredictBatchAt(seqs [][]string, p nn.Precision) [][]tokenize.Label {
+	if p.Quantized() && len(seqs) > 0 {
+		if qe, ok := m.enc.(QuantEncoder); ok {
+			return m.predictQuant(qe, seqs, p)
+		}
+	}
 	outs := make([][]tokenize.Label, len(seqs))
 	be, ok := m.enc.(BatchArenaEncoder)
 	if !ok || len(seqs) < 2 {
 		for i, s := range seqs {
-			outs[i] = m.Predict(s)
+			outs[i] = m.PredictAt(s, nn.Float64)
 		}
 		return outs
 	}

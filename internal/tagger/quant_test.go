@@ -1,0 +1,144 @@
+package tagger
+
+import (
+	"math"
+	"testing"
+
+	"saccs/internal/nn"
+	"saccs/internal/tokenize"
+)
+
+// trainedQuantModel trains one small tagger for the quantized-decode tests.
+func trainedQuantModel(t *testing.T) (*Model, [][]string) {
+	t.Helper()
+	d := smallDataset(t)
+	enc := testEncoder(t, d)
+	m := New(enc, fastCfg())
+	m.Train(d.Train[:capN(len(d.Train), 30)])
+	seqs := make([][]string, 0, 6)
+	for _, ex := range d.Test[:capN(len(d.Test), 6)] {
+		seqs = append(seqs, ex.Tokens)
+	}
+	return m, seqs
+}
+
+// TestPredictQuantAllocsRegression pins the allocation count of a warm
+// quantized decode at both precisions: quantize-at-load means the frozen
+// int8/f32 weight copies are built once per generation, so the steady state
+// allocates only the returned label slice and pool bookkeeping — the same
+// <= 16 budget the float64 path holds.
+func TestPredictQuantAllocsRegression(t *testing.T) {
+	m, seqs := trainedQuantModel(t)
+	tokens := seqs[0]
+	for _, p := range []nn.Precision{nn.Mixed, nn.Int8} {
+		for i := 0; i < 3; i++ {
+			m.PredictAt(tokens, p) // warm pooled arenas + frozen weights
+		}
+		allocs := testing.AllocsPerRun(100, func() { m.PredictAt(tokens, p) })
+		if allocs > 16 {
+			t.Fatalf("warm PredictAt(%v) allocates %v times per call, want <= 16", p, allocs)
+		}
+	}
+}
+
+// TestQuantSoloMatchesBatch pins the structural identity the quant-drift
+// oracle also checks end to end: the quantized kernels are sequence-local,
+// so a batched decode must be bit-identical to decoding each sequence alone,
+// at every precision.
+func TestQuantSoloMatchesBatch(t *testing.T) {
+	m, seqs := trainedQuantModel(t)
+	for _, p := range []nn.Precision{nn.Float64, nn.Mixed, nn.Int8} {
+		batched := m.PredictBatchAt(seqs, p)
+		for i, toks := range seqs {
+			solo := m.PredictAt(toks, p)
+			if len(solo) != len(batched[i]) {
+				t.Fatalf("%v seq %d: batch %d labels vs solo %d", p, i, len(batched[i]), len(solo))
+			}
+			for j := range solo {
+				if solo[j] != batched[i][j] {
+					t.Fatalf("%v seq %d label %d: batch %v != solo %v", p, i, j, batched[i][j], solo[j])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantWeightsFollowRetrain verifies quantize-at-load regenerates the
+// frozen inference weights when the generation bumps: after further
+// training moves the float64 weights, the quantized emissions must track
+// the NEW float64 emissions closely — a stale frozen copy from the previous
+// generation would diverge by the training step's full weight delta, orders
+// of magnitude beyond quantization noise.
+func TestQuantWeightsFollowRetrain(t *testing.T) {
+	d := smallDataset(t)
+	enc := testEncoder(t, d)
+	m := New(enc, fastCfg())
+	m.Train(d.Train[:capN(len(d.Train), 20)])
+	tokens := d.Test[0].Tokens
+
+	bound := func() (float64, float64) {
+		ef := m.EmissionsAt(tokens, nn.Float64)
+		eq := m.EmissionsAt(tokens, nn.Mixed)
+		var maxErr, maxAbs float64
+		for t := range ef {
+			for j := range ef[t] {
+				if a := math.Abs(ef[t][j]); a > maxAbs {
+					maxAbs = a
+				}
+				if dd := math.Abs(eq[t][j] - ef[t][j]); dd > maxErr {
+					maxErr = dd
+				}
+			}
+		}
+		return maxErr, maxAbs
+	}
+	m.PredictAt(tokens, nn.Mixed) // freeze quantized weights for this generation
+	if err, scale := bound(); err > 0.05*scale {
+		t.Fatalf("pre-retrain quantized emissions off by %v (scale %v)", err, scale)
+	}
+	g0 := m.Generation()
+	m.Train(d.Train[:capN(len(d.Train), 20)])
+	if m.Generation() == g0 {
+		t.Fatal("Train did not bump the generation")
+	}
+	// The frozen copies must now be rebuilt from the post-train weights.
+	if err, scale := bound(); err > 0.05*scale {
+		t.Fatalf("post-retrain quantized emissions off by %v (scale %v) — stale frozen weights?", err, scale)
+	}
+}
+
+// TestReferenceViewPinsFloat64 verifies the view index builds extract
+// through: whatever precision the model is configured to serve, the view
+// decodes on the float64 reference path, solo and batched, and reports the
+// model's generation.
+func TestReferenceViewPinsFloat64(t *testing.T) {
+	m, seqs := trainedQuantModel(t)
+	m.SetPrecision(nn.Int8)
+	v := ReferenceView{M: m}
+	if v.Generation() != m.Generation() {
+		t.Fatal("ReferenceView reports a different generation")
+	}
+	eq := func(a, b []tokenize.Label) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i, toks := range seqs {
+		if !eq(v.Predict(toks), m.PredictAt(toks, nn.Float64)) {
+			t.Fatalf("seq %d: ReferenceView.Predict != PredictAt(Float64)", i)
+		}
+	}
+	vb := v.PredictBatch(seqs)
+	fb := m.PredictBatchAt(seqs, nn.Float64)
+	for i := range seqs {
+		if !eq(vb[i], fb[i]) {
+			t.Fatalf("seq %d: ReferenceView.PredictBatch != PredictBatchAt(Float64)", i)
+		}
+	}
+}

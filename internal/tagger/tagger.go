@@ -91,6 +91,12 @@ type Config struct {
 	EncoderLR float64
 	// Seed drives parameter init and dropout.
 	Seed int64
+	// Precision selects the decode arithmetic (nn.Float64, nn.Mixed,
+	// nn.Int8). The zero value is nn.Float64 — the exact reference path;
+	// quantized modes dispatch Predict/PredictBatch to the int8/float32
+	// inference kernels when the encoder supports them (see QuantEncoder).
+	// Training is always float64 regardless.
+	Precision nn.Precision
 }
 
 // DefaultConfig returns the training recipe used across the reproduction.
@@ -373,6 +379,20 @@ func infer(enc Encoder, tokens []string) []mat.Vec {
 // every decode. The arithmetic is identical to the training forward passes,
 // so decoded labels are bit-for-bit unchanged.
 func (m *Model) Predict(tokens []string) []tokenize.Label {
+	return m.PredictAt(tokens, m.cfg.Precision)
+}
+
+// PredictAt is Predict at an explicit precision, independent of the
+// configured mode — the hook the quant-drift oracle and benchmarks use to
+// compare the float64 and quantized paths on one model without mutating it.
+// Quantized modes require the encoder to implement QuantEncoder; otherwise
+// the decode silently runs at float64.
+func (m *Model) PredictAt(tokens []string, p nn.Precision) []tokenize.Label {
+	if p.Quantized() {
+		if qe, ok := m.enc.(QuantEncoder); ok {
+			return m.predictQuant(qe, [][]string{tokens}, p)[0]
+		}
+	}
 	if m.Obs != nil {
 		defer m.Obs.Histogram("tagger.predict").ObserveSince(time.Now())
 	}

@@ -38,6 +38,7 @@ import (
 	"saccs/internal/index"
 	"saccs/internal/ingest"
 	"saccs/internal/lexicon"
+	"saccs/internal/nn"
 	"saccs/internal/obs"
 	"saccs/internal/pairing"
 	"saccs/internal/parse"
@@ -53,9 +54,9 @@ import (
 // Numeric and boolean fields are taken literally: New applies no defaults, so
 // ThetaIndex: 0 really means a zero similarity threshold and Epsilon: 0
 // really means no adversarial perturbation. Start from DefaultConfig() and
-// override the fields you care about. The two string fields keep "" as an
-// alias for their default ("restaurants", "fast") so the zero Config still
-// names a valid pipeline.
+// override the fields you care about. The string fields keep "" as an alias
+// for their default ("restaurants", "fast", "mixed") so the zero Config
+// still names a valid pipeline.
 type Config struct {
 	// Domain selects the lexicon the pipeline is trained for:
 	// "restaurants" (the "" default), "electronics" or "hotels".
@@ -131,6 +132,16 @@ type Config struct {
 	// into balanced forwards of at most this many sequences. Values below 2
 	// disable cross-request batching.
 	BatchMaxSize int
+	// Precision selects the inference arithmetic of the utterance decode —
+	// the latency-critical tagger forward behind Query, Chat, and
+	// ExtractTags: "mixed" (the "" default) runs int8 GEMMs with float32
+	// kernels for the drift-sensitive layers, "int8" additionally
+	// quantizes the LSTM recurrence and emission projection, and "float64"
+	// is the exact reference arithmetic. Training and review indexing
+	// (IndexEntities, AppendReview) always run float64 — the index is a
+	// durable artifact and stays byte-identical across Precision settings —
+	// and oracle/quant-drift bounds the quantized decode's divergence.
+	Precision string
 	// WALDir, when non-empty, makes streamed reviews durable: AppendReview
 	// acknowledges only after the review is fsynced into a write-ahead log
 	// under this directory, and New replays the log (checkpoint + WAL tail)
@@ -163,6 +174,7 @@ func DefaultConfig() Config {
 		ExtractCacheSize: 4096,
 		BatchWindow:      250 * time.Microsecond,
 		BatchMaxSize:     16,
+		Precision:        "mixed",
 
 		IngestPublishEvery:    64,
 		IngestPublishInterval: 250 * time.Millisecond,
@@ -258,9 +270,16 @@ type Response struct {
 // The cost of the design is memory, not latency: while a rebuild overlaps
 // queries, up to two index generations are live at once.
 type Client struct {
-	cfg     Config
-	domain  *lexicon.Domain
+	cfg    Config
+	domain *lexicon.Domain
+	// extr is the serving extractor: utterance decodes run at the
+	// configured Precision (quantized kernels by default). refExtr is the
+	// indexing extractor: the same trained tagger pinned to the float64
+	// reference arithmetic, with its own cache and gather state, so the
+	// index is a precision-independent artifact — reviews extract to
+	// byte-identical postings whatever Precision serves queries.
 	extr    *core.Extractor
+	refExtr *core.Extractor
 	measure sim.Measure
 
 	// w is the client's current world — entities, reviews, shard router,
@@ -318,6 +337,10 @@ func New(cfg Config) (*Client, error) {
 	default:
 		return nil, fmt.Errorf("saccs: unknown domain %q", cfg.Domain)
 	}
+	precision, err := nn.ParsePrecision(cfg.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("saccs: %w", err)
+	}
 
 	o := obs.NewObserver()
 	o.SetTelemetry(obs.NewTelemetry(obs.TelemetryConfig{
@@ -336,6 +359,7 @@ func New(cfg Config) (*Client, error) {
 	}
 	tcfg.Adversarial = cfg.Adversarial
 	tcfg.Epsilon = cfg.Epsilon
+	tcfg.Precision = precision
 	tg := tagger.New(enc, tcfg)
 	tg.Obs = o
 	tg.Train(data.Train)
@@ -345,13 +369,29 @@ func New(cfg Config) (*Client, error) {
 	hist.SetCap(cfg.HistoryLimit)
 	cache := extcache.New(cfg.ExtractCacheSize)
 	cache.SetObserver(o)
+	pairer := pairing.Tree{Lex: parse.DomainLexicon(domain), FromOpinions: true}
+	// Index builds extract through a float64-pinned view of the same trained
+	// tagger, with a separate cache (entries must be bit-identical to a fresh
+	// decode at the extractor's own precision, so the two modes never share
+	// one) and separate gather state (a batched forward decodes at one
+	// precision, so cohorts are per-extractor).
+	refCache := extcache.New(cfg.ExtractCacheSize)
+	refCache.SetObserver(o)
 	c := &Client{
 		cfg:    cfg,
 		domain: domain,
 		extr: &core.Extractor{
 			Tagger:       tg,
-			Pairer:       pairing.Tree{Lex: parse.DomainLexicon(domain), FromOpinions: true},
+			Pairer:       pairer,
 			Cache:        cache,
+			Obs:          o,
+			BatchWindow:  cfg.BatchWindow,
+			BatchMaxSize: cfg.BatchMaxSize,
+		},
+		refExtr: &core.Extractor{
+			Tagger:       tagger.ReferenceView{M: tg},
+			Pairer:       pairer,
+			Cache:        refCache,
 			Obs:          o,
 			BatchWindow:  cfg.BatchWindow,
 			BatchMaxSize: cfg.BatchMaxSize,
@@ -465,7 +505,7 @@ func (c *Client) IndexEntitiesCtx(ctx context.Context, entities []Entity, tags [
 		e := entities[i]
 		er := index.EntityReviews{EntityID: e.ID, ReviewCount: len(e.Reviews)}
 		for _, r := range e.Reviews {
-			er.Tags = append(er.Tags, c.extr.ExtractTags(r)...)
+			er.Tags = append(er.Tags, c.refExtr.ExtractTags(r)...)
 		}
 		reviews[i] = er
 	}
@@ -761,13 +801,14 @@ func (c *Client) openIngestLocked() error {
 }
 
 // extractReviewTags is the ingester's extraction hook: per review it runs
-// exactly what the batch IndexEntities path runs (core.Extractor.ExtractTags,
-// which dedupes across a review's sentences), so a streamed world and a
-// batch world extract identically.
+// exactly what the batch IndexEntities path runs (the reference extractor's
+// ExtractTags, which dedupes across a review's sentences), so a streamed
+// world and a batch world extract identically — at the float64 reference
+// precision, independent of the serving Precision.
 func (c *Client) extractReviewTags(texts []string) [][]string {
 	out := make([][]string, len(texts))
 	for i, t := range texts {
-		out[i] = c.extr.ExtractTags(t)
+		out[i] = c.refExtr.ExtractTags(t)
 	}
 	return out
 }

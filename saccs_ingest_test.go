@@ -26,6 +26,7 @@ func cloneForTest(t *testing.T, c *Client, cfg Config) *Client {
 		cfg:     cfg,
 		domain:  c.domain,
 		extr:    c.extr,
+		refExtr: c.refExtr,
 		measure: c.measure,
 		o:       o,
 	}
